@@ -1,0 +1,22 @@
+# Edge-detection pipeline for the msched CLI:
+#   dune exec bin/msched.exe -- compare --file examples/specs/edge_detect.app
+app edge_detect iterations 24
+
+kernel smooth contexts 160 cycles 220
+kernel grad_x contexts 192 cycles 260
+kernel grad_y contexts 192 cycles 260
+kernel magn   contexts 128 cycles 200
+kernel thresh contexts 96  cycles 140
+kernel trace  contexts 160 cycles 240
+
+input  tile    size 256 -> smooth
+input  coeffs  size 48  -> smooth magn
+result blurred size 256 from smooth -> grad_x grad_y
+result gx      size 128 from grad_x -> magn
+result gy      size 128 from grad_y -> magn
+result mag     size 128 from magn -> thresh
+result mask    size 64  from thresh -> trace
+final  edges   size 96  from trace
+
+partition 2 2 2
+fb 2048
