@@ -1,0 +1,1 @@
+bench/fixture_app.ml: Kernel_ir

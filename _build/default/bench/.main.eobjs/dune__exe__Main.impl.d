@@ -1,0 +1,1 @@
+bench/main.ml: Array Micro_bench Report Sys

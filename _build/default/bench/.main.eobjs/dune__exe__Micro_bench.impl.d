@@ -1,0 +1,1 @@
+bench/micro_bench.ml: Analyze Bechamel Benchmark Cds Fixture_app Format Hashtbl Instance List Measure Morphosys Msim Sched Staged Test Time Toolkit Workloads

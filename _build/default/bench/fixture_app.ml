@@ -1,0 +1,23 @@
+(* A small fixed application for benchmarking the kernel-scheduler search
+   (6 kernels -> 32 candidate partitions). *)
+
+module B = Kernel_ir.Builder
+
+let small () =
+  B.create "bench_small" ~iterations:8
+  |> B.kernel "a" ~contexts:128 ~cycles:200
+  |> B.kernel "b" ~contexts:128 ~cycles:200
+  |> B.kernel "c" ~contexts:128 ~cycles:200
+  |> B.kernel "d" ~contexts:128 ~cycles:200
+  |> B.kernel "e" ~contexts:128 ~cycles:200
+  |> B.kernel "f" ~contexts:128 ~cycles:200
+  |> B.input "i0" ~size:64 ~consumers:[ "a"; "d" ]
+  |> B.input "i1" ~size:64 ~consumers:[ "b" ]
+  |> B.input "i2" ~size:64 ~consumers:[ "e" ]
+  |> B.result "t0" ~size:48 ~producer:"a" ~consumers:[ "b" ]
+  |> B.result "t1" ~size:48 ~producer:"b" ~consumers:[ "c" ]
+  |> B.result "t2" ~size:48 ~producer:"c" ~consumers:[ "d" ]
+  |> B.result "t3" ~size:48 ~producer:"d" ~consumers:[ "e" ]
+  |> B.result "t4" ~size:48 ~producer:"e" ~consumers:[ "f" ]
+  |> B.final "y" ~size:64 ~producer:"f"
+  |> B.build

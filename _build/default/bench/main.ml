@@ -1,0 +1,12 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Table 1, Figure 6, Figure 5, Figure 3, the MPEG feasibility
+   and allocator-quality claims), runs the ablation study, and finishes
+   with bechamel microbenchmarks of the scheduler components.
+
+   Usage: dune exec bench/main.exe [-- --no-micro] *)
+
+let () =
+  let no_micro = Array.exists (fun a -> a = "--no-micro") Sys.argv in
+  let (_ : Report.Table_report.row list) = Report.Table_report.run () in
+  Report.Figure_report.run ();
+  if not no_micro then Micro_bench.run ()

@@ -1,0 +1,482 @@
+(* msched — command-line driver for the MorphoSys Complete Data Scheduler.
+
+   Subcommands:
+     list      show the bundled workloads
+     run       schedule one workload and print metrics / trace
+     compare   run Basic vs DS vs CDS on one workload
+     alloc     print the Figure 4 allocation trace of the CDS schedule
+     dot       emit the kernel graph as Graphviz DOT
+     table1    reproduce the paper's Table 1 + Figure 6
+     figures   reproduce Figures 3 and 5 and the allocator-quality table *)
+
+open Cmdliner
+
+type source = { app : Kernel_ir.Application.t; default_fb : int;
+                default_clustering : Kernel_ir.Application.t -> Kernel_ir.Cluster.clustering;
+                spec_partition : int list option;
+                spec_fb : int option; spec_cm : int option }
+
+let source_of_workload (e : Workloads.Registry.entry) =
+  { app = e.Workloads.Registry.app ();
+    default_fb = e.Workloads.Registry.default_fb;
+    default_clustering = e.Workloads.Registry.clustering;
+    spec_partition = None; spec_fb = None; spec_cm = None }
+
+let source_of_file path =
+  Result.map
+    (fun (spec : Appdsl.spec) ->
+      { app = spec.Appdsl.app; default_fb = 1024;
+        default_clustering = (fun app -> Kernel_ir.Cluster.singleton_per_kernel app);
+        spec_partition = spec.Appdsl.partition;
+        spec_fb = spec.Appdsl.fb_set_size; spec_cm = spec.Appdsl.cm_capacity })
+    (Appdsl.load_file path)
+
+let find_workload name =
+  match Workloads.Registry.find name with
+  | Some e -> Ok e
+  | None ->
+    Error
+      (Printf.sprintf "unknown workload %S (try: %s)" name
+         (String.concat ", " (Workloads.Registry.names ())))
+
+let resolve_source ~name ~file =
+  match (name, file) with
+  | _, Some path -> source_of_file path
+  | Some name, None -> Result.map source_of_workload (find_workload name)
+  | None, None -> Error "give a workload name or --file SPEC"
+
+let config_of source ~fb ~cm =
+  let fb_set_size =
+    match (fb, source.spec_fb) with
+    | Some n, _ -> n
+    | None, Some n -> n
+    | None, None -> source.default_fb
+  in
+  match (cm, source.spec_cm) with
+  | Some cm_capacity, _ | None, Some cm_capacity ->
+    Morphosys.Config.make ~fb_set_size ~cm_capacity ()
+  | None, None -> Morphosys.Config.m1 ~fb_set_size
+
+let clustering_of source ~partition ~auto ~config =
+  let app = source.app in
+  match (partition, source.spec_partition, auto) with
+  | Some sizes, _, _ | None, Some sizes, _ ->
+    Ok (Kernel_ir.Cluster.of_partition app sizes)
+  | None, None, true -> (
+    match Cds.Pipeline.auto_clustering config app with
+    | Some (clustering, _) -> Ok clustering
+    | None -> Error "kernel scheduler found no feasible clustering")
+  | None, None, false -> Ok (source.default_clustering app)
+
+(* -- arguments ---------------------------------------------------------- *)
+
+let workload_arg =
+  let doc = "Workload name (see $(b,msched list))." in
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+
+let file_arg =
+  let doc = "Load the application from a spec file instead (see lib/appdsl)." in
+  Arg.(value & opt (some file) None & info [ "file"; "f" ] ~docv:"SPEC" ~doc)
+
+let fb_arg =
+  let doc = "Frame-buffer set size in words (default: the paper's size)." in
+  Arg.(value & opt (some int) None & info [ "fb" ] ~docv:"WORDS" ~doc)
+
+let cm_arg =
+  let doc = "Context-memory capacity in words (default: 2048)." in
+  Arg.(value & opt (some int) None & info [ "cm" ] ~docv:"WORDS" ~doc)
+
+let partition_arg =
+  let doc =
+    "Cluster partition as comma-separated sizes, e.g. $(b,2,2,2) \
+     (default: the paper's kernel schedule)."
+  in
+  Arg.(
+    value
+    & opt (some (list ~sep:',' int)) None
+    & info [ "partition"; "p" ] ~docv:"SIZES" ~doc)
+
+let auto_arg =
+  let doc = "Let the kernel scheduler search for the best clustering." in
+  Arg.(value & flag & info [ "auto" ] ~doc)
+
+let scheduler_arg =
+  let doc = "Scheduler: $(b,basic), $(b,ds) or $(b,cds)." in
+  Arg.(
+    value
+    & opt (enum [ ("basic", `Basic); ("ds", `Ds); ("cds", `Cds) ]) `Cds
+    & info [ "scheduler"; "s" ] ~docv:"NAME" ~doc)
+
+let trace_arg =
+  let doc = "Print the step-by-step timeline." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let gantt_arg =
+  let doc = "Print an ASCII Gantt chart of RC array vs DMA channel." in
+  Arg.(value & flag & info [ "gantt" ] ~doc)
+
+let cross_set_arg =
+  let doc = "Enable the future-work cross-set retention." in
+  Arg.(value & flag & info [ "cross-set" ] ~doc)
+
+let no_retention_arg =
+  let doc = "Disable inter-cluster retention (ablated CDS)." in
+  Arg.(value & flag & info [ "no-retention" ] ~doc)
+
+(* -- commands ----------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Workloads.Registry.entry) ->
+        Printf.printf "%-14s (FB %s)  %s\n" e.Workloads.Registry.name
+          (Msutil.Pretty.kbytes e.Workloads.Registry.default_fb)
+          e.Workloads.Registry.description)
+      Workloads.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the bundled workloads")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let run name file fb cm partition auto scheduler trace gantt cross_set
+      no_retention =
+    match resolve_source ~name ~file with
+    | Error e -> `Error (false, e)
+    | Ok source -> (
+      let app = source.app in
+      let config = config_of source ~fb ~cm in
+      match clustering_of source ~partition ~auto ~config with
+      | Error e -> `Error (false, e)
+      | Ok clustering -> (
+        let schedule =
+          match scheduler with
+          | `Basic -> Sched.Basic_scheduler.schedule config app clustering
+          | `Ds -> Sched.Data_scheduler.schedule config app clustering
+          | `Cds ->
+            Result.map
+              (fun (r : Cds.Complete_data_scheduler.result) ->
+                Format.printf "%a@." Cds.Retention.pp_decision
+                  r.Cds.Complete_data_scheduler.retention;
+                r.Cds.Complete_data_scheduler.schedule)
+              (Cds.Complete_data_scheduler.schedule ~cross_set
+                 ~retention:(not no_retention) config app clustering)
+        in
+        match schedule with
+        | Error e -> `Error (false, e)
+        | Ok s ->
+          Msim.Validate.check_exn s;
+          Format.printf "%a@." Sched.Schedule.pp_summary s;
+          Format.printf "%a@." Msim.Metrics.pp (Msim.Executor.run config s);
+          if trace then print_string (Msim.Trace.render config s);
+          if gantt then print_string (Msim.Trace.render_gantt config s);
+          `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Schedule one workload and print metrics")
+    Term.(
+      ret
+        (const run $ workload_arg $ file_arg $ fb_arg $ cm_arg $ partition_arg
+       $ auto_arg $ scheduler_arg $ trace_arg $ gantt_arg $ cross_set_arg
+       $ no_retention_arg))
+
+let compare_cmd =
+  let run name file fb cm partition auto =
+    match resolve_source ~name ~file with
+    | Error e -> `Error (false, e)
+    | Ok source -> (
+      let app = source.app in
+      let config = config_of source ~fb ~cm in
+      match clustering_of source ~partition ~auto ~config with
+      | Error e -> `Error (false, e)
+      | Ok clustering ->
+        let c = Cds.Pipeline.run config app clustering in
+        let report label = function
+          | Ok (s : Cds.Pipeline.scheduled) ->
+            Format.printf "%-6s %a@." label Msim.Metrics.pp
+              s.Cds.Pipeline.metrics
+          | Error e -> Format.printf "%-6s infeasible: %s@." label e
+        in
+        Format.printf "clusters: %a@." Kernel_ir.Cluster.pp_clustering
+          clustering;
+        report "basic" c.Cds.Pipeline.basic;
+        report "ds" c.Cds.Pipeline.ds;
+        report "cds" (Result.map fst c.Cds.Pipeline.cds);
+        (match (Cds.Pipeline.improvement c `Ds, Cds.Pipeline.improvement c `Cds) with
+        | Some ds, Some cds ->
+          Format.printf "improvement over basic: ds %.1f%%, cds %.1f%%@." ds cds
+        | _ -> ());
+        `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run Basic vs DS vs CDS on one workload")
+    Term.(
+      ret
+        (const run $ workload_arg $ file_arg $ fb_arg $ cm_arg $ partition_arg
+       $ auto_arg))
+
+let alloc_cmd =
+  let run name file fb cm partition =
+    match resolve_source ~name ~file with
+    | Error e -> `Error (false, e)
+    | Ok source -> (
+      let app = source.app in
+      let config = config_of source ~fb ~cm in
+      match clustering_of source ~partition ~auto:false ~config with
+      | Error e -> `Error (false, e)
+      | Ok clustering -> (
+        match Cds.Pipeline.allocation_report config app clustering with
+        | Error e -> `Error (false, e)
+        | Ok r ->
+          let labels =
+            List.map
+              (fun (s : Cds.Allocation_algorithm.snapshot) ->
+                s.Cds.Allocation_algorithm.caption)
+              r.Cds.Allocation_algorithm.snapshots
+          in
+          let cells =
+            List.map
+              (fun (s : Cds.Allocation_algorithm.snapshot) ->
+                s.Cds.Allocation_algorithm.cells)
+              r.Cds.Allocation_algorithm.snapshots
+          in
+          print_string
+            (Fb_alloc.Layout.render_snapshots ~cell_width:8 ~labels cells);
+          Format.printf "splits: %d  failures: %d@."
+            r.Cds.Allocation_algorithm.splits
+            (List.length r.Cds.Allocation_algorithm.failures);
+          `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "alloc"
+       ~doc:"Print the Figure 4 allocation trace of the CDS schedule")
+    Term.(
+      ret (const run $ workload_arg $ file_arg $ fb_arg $ cm_arg $ partition_arg))
+
+let dot_cmd =
+  let clustered_arg =
+    Arg.(value & flag & info [ "clustered" ] ~doc:"Group kernels by cluster.")
+  in
+  let fission_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fission" ] ~docv:"RF" ~doc:"Emit the loop-fission view at RF.")
+  in
+  let run name file clustered fission =
+    match resolve_source ~name ~file with
+    | Error e -> `Error (false, e)
+    | Ok source ->
+      let app = source.app in
+      (match fission with
+      | Some rf -> print_string (Kernel_ir.Dot.loop_fission_graph app ~rf)
+      | None ->
+        if clustered then
+          print_string
+            (Kernel_ir.Dot.clustered_graph app (source.default_clustering app))
+        else print_string (Kernel_ir.Dot.kernel_graph app));
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit the kernel graph as Graphviz DOT")
+    Term.(ret (const run $ workload_arg $ file_arg $ clustered_arg $ fission_arg))
+
+let sweep_cmd =
+  let fb_list_arg =
+    Arg.(
+      value
+      & opt (list ~sep:',' int) [ 512; 1024; 2048; 4096; 8192 ]
+      & info [ "fb-list" ] ~docv:"SIZES"
+          ~doc:"Frame-buffer set sizes to sweep (comma-separated words).")
+  in
+  let csv_arg =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Print CSV instead of a table.")
+  in
+  let run name file partition fb_list csv =
+    match resolve_source ~name ~file with
+    | Error e -> `Error (false, e)
+    | Ok source -> (
+      let app = source.app in
+      let config = config_of source ~fb:None ~cm:None in
+      match clustering_of source ~partition ~auto:false ~config with
+      | Error e -> `Error (false, e)
+      | Ok clustering ->
+        let points = Report.Dse.sweep ~fb_list app clustering in
+        if csv then print_string (Report.Dse.to_csv points)
+        else begin
+          Report.Dse.print_table points;
+          (match Report.Dse.best points with
+          | Some p ->
+            Format.printf "best: %s at FB=%s (%s cycles)@." p.Report.Dse.scheduler
+              (Msutil.Pretty.kbytes p.Report.Dse.fb_set_size)
+              (match p.Report.Dse.total_cycles with
+              | Some c -> string_of_int c
+              | None -> "-")
+          | None -> Format.printf "no feasible point@.");
+          let frontier = Report.Dse.pareto points in
+          Format.printf "pareto frontier (FB, cycles):";
+          List.iter
+            (fun (p : Report.Dse.point) ->
+              Format.printf " (%s, %d)"
+                (Msutil.Pretty.kbytes p.Report.Dse.fb_set_size)
+                (Option.value ~default:0 p.Report.Dse.total_cycles))
+            frontier;
+          Format.printf "@."
+        end;
+        `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Design-space exploration: sweep the FB size for one workload")
+    Term.(
+      ret
+        (const run $ workload_arg $ file_arg $ partition_arg $ fb_list_arg
+       $ csv_arg))
+
+let table1_cmd =
+  let csv_arg =
+    Arg.(
+      value & flag
+      & info [ "csv" ] ~doc:"Print machine-readable CSV instead of the table.")
+  in
+  let run csv =
+    if csv then
+      print_string (Report.Table_report.to_csv (Report.Table_report.run_rows ()))
+    else ignore (Report.Table_report.run ())
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Reproduce the paper's Table 1 and Figure 6")
+    Term.(const run $ csv_arg)
+
+let figures_cmd =
+  let run () = Report.Figure_report.run () in
+  Cmd.v
+    (Cmd.info "figures"
+       ~doc:"Reproduce Figures 3 and 5 and the allocator-quality table")
+    Term.(const run $ const ())
+
+let asm_cmd =
+  let looped_arg =
+    Arg.(
+      value & flag
+      & info [ "looped" ]
+          ~doc:"Reroll uniform rounds into a hardware loop (compact code).")
+  in
+  let run name file fb cm partition scheduler looped =
+    match resolve_source ~name ~file with
+    | Error e -> `Error (false, e)
+    | Ok source -> (
+      let app = source.app in
+      let config = config_of source ~fb ~cm in
+      match clustering_of source ~partition ~auto:false ~config with
+      | Error e -> `Error (false, e)
+      | Ok clustering -> (
+        let schedule =
+          match scheduler with
+          | `Basic -> Sched.Basic_scheduler.schedule config app clustering
+          | `Ds -> Sched.Data_scheduler.schedule config app clustering
+          | `Cds ->
+            Result.map
+              (fun (r : Cds.Complete_data_scheduler.result) ->
+                r.Cds.Complete_data_scheduler.schedule)
+              (Cds.Complete_data_scheduler.schedule config app clustering)
+        in
+        match schedule with
+        | Error e -> `Error (false, e)
+        | Ok s ->
+          let program =
+            if looped then Codegen.Emit.program_looped s
+            else Codegen.Emit.program s
+          in
+          print_string (Codegen.Asm.to_string program);
+          let r = Codegen.Interp.run config program in
+          Format.eprintf "; interpreted: %a@." Codegen.Interp.pp_result r;
+          `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "asm"
+       ~doc:"Emit the TinyRISC control program for a schedule")
+    Term.(
+      ret
+        (const run $ workload_arg $ file_arg $ fb_arg $ cm_arg $ partition_arg
+       $ scheduler_arg $ looped_arg))
+
+let vcd_cmd =
+  let run name file fb cm partition scheduler =
+    match resolve_source ~name ~file with
+    | Error e -> `Error (false, e)
+    | Ok source -> (
+      let app = source.app in
+      let config = config_of source ~fb ~cm in
+      match clustering_of source ~partition ~auto:false ~config with
+      | Error e -> `Error (false, e)
+      | Ok clustering -> (
+        let schedule =
+          match scheduler with
+          | `Basic -> Sched.Basic_scheduler.schedule config app clustering
+          | `Ds -> Sched.Data_scheduler.schedule config app clustering
+          | `Cds ->
+            Result.map
+              (fun (r : Cds.Complete_data_scheduler.result) ->
+                r.Cds.Complete_data_scheduler.schedule)
+              (Cds.Complete_data_scheduler.schedule config app clustering)
+        in
+        match schedule with
+        | Error e -> `Error (false, e)
+        | Ok s ->
+          print_string (Msim.Vcd.of_schedule config s);
+          `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "vcd"
+       ~doc:"Dump the schedule's activity waveform as a Value Change Dump")
+    Term.(
+      ret
+        (const run $ workload_arg $ file_arg $ fb_arg $ cm_arg $ partition_arg
+       $ scheduler_arg))
+
+let kernels_cmd =
+  let run () =
+    let config = Morphosys.Config.m1 ~fb_set_size:1024 in
+    List.iter
+      (fun (e : Rcsim.Kernel_library.entry) ->
+        let status =
+          match e.Rcsim.Kernel_library.demo config with
+          | Some (got, expected) ->
+            if got = expected then "self-check OK" else "SELF-CHECK FAILED"
+          | None -> "no demo on this array size"
+        in
+        Printf.printf "%-12s ctx=%-3d ops/iter=%-4d %-18s %s
+"
+          e.Rcsim.Kernel_library.name e.Rcsim.Kernel_library.context_words
+          e.Rcsim.Kernel_library.ops_per_iteration status
+          e.Rcsim.Kernel_library.description)
+      Rcsim.Kernel_library.all
+  in
+  Cmd.v
+    (Cmd.info "kernels"
+       ~doc:"List the kernel library and run each kernel's array self-check")
+    Term.(const run $ const ())
+
+(* msched --verbose / -v prints scheduler decision logs to stderr; the flag
+   is stripped before cmdliner parses the rest *)
+let argv =
+  let verbose = Array.exists (fun a -> a = "--verbose" || a = "-v") Sys.argv in
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end;
+  Array.of_list
+    (List.filter
+       (fun a -> a <> "--verbose" && a <> "-v")
+       (Array.to_list Sys.argv))
+
+let main =
+  let doc = "Complete Data Scheduler for multi-context reconfigurable architectures" in
+  Cmd.group
+    (Cmd.info "msched" ~version:"1.0.0" ~doc)
+    [
+      list_cmd; run_cmd; compare_cmd; alloc_cmd; dot_cmd; asm_cmd; vcd_cmd;
+      kernels_cmd; sweep_cmd; table1_cmd; figures_cmd;
+    ]
+
+let () = exit (Cmd.eval ~argv main)

@@ -1,0 +1,1 @@
+examples/allocation_trace.ml: Cds Fb_alloc Format List Morphosys Workloads

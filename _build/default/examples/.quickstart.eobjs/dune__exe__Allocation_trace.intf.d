@@ -1,0 +1,1 @@
+examples/allocation_trace.mli:

@@ -1,0 +1,1 @@
+examples/atr_recognition.ml: Cds Format Kernel_ir List Morphosys Msutil Workloads

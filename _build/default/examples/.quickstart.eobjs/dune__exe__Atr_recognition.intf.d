@@ -1,0 +1,1 @@
+examples/atr_recognition.mli:

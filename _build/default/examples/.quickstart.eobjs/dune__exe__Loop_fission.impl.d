@@ -1,0 +1,1 @@
+examples/loop_fission.ml: Cds Format Kernel_ir List Morphosys Msim Msutil Sched Workloads

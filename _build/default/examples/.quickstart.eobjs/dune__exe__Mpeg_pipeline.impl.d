@@ -1,0 +1,1 @@
+examples/mpeg_pipeline.ml: Array Cds Format Kernel_ir List Morphosys Msutil Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cds Format Kernel_ir Morphosys Msim Result

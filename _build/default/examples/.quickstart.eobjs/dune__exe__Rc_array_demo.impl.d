@@ -1,0 +1,1 @@
+examples/rc_array_demo.ml: Array Cds Format Kernel_ir List Morphosys Rcsim String

@@ -1,0 +1,1 @@
+examples/rc_array_demo.mli:

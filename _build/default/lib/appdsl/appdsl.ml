@@ -1,0 +1,214 @@
+module B = Kernel_ir.Builder
+
+type spec = {
+  app : Kernel_ir.Application.t;
+  partition : int list option;
+  fb_set_size : int option;
+  cm_capacity : int option;
+}
+
+type accum = {
+  mutable builder : B.t option;
+  mutable acc_partition : int list option;
+  mutable acc_fb : int option;
+  mutable acc_cm : int option;
+}
+
+let tokens line =
+  (* strip comments, split on whitespace *)
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+let int_tok what s =
+  match int_of_string_opt s with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "expected an integer for %s, got %S" what s)
+
+let ( let* ) = Result.bind
+
+(* Split [-> c1 c2 ...] off a token list. *)
+let split_arrow toks =
+  let rec loop before = function
+    | "->" :: after -> Ok (List.rev before, after)
+    | t :: rest -> loop (t :: before) rest
+    | [] -> Error "missing '->'"
+  in
+  loop [] toks
+
+let with_builder acc f =
+  match acc.builder with
+  | None -> Error "the first directive must be 'app NAME iterations N'"
+  | Some b ->
+    let* b' = f b in
+    acc.builder <- Some b';
+    Ok ()
+
+let parse_directive acc toks =
+  match toks with
+  | [] -> Ok ()
+  | "app" :: name :: "iterations" :: n :: [] ->
+    if acc.builder <> None then Error "duplicate 'app' directive"
+    else
+      let* iterations = int_tok "iterations" n in
+      acc.builder <- Some (B.create name ~iterations);
+      Ok ()
+  | "kernel" :: name :: "contexts" :: c :: "cycles" :: cy :: [] ->
+    with_builder acc (fun b ->
+        let* contexts = int_tok "contexts" c in
+        let* cycles = int_tok "cycles" cy in
+        Ok (B.kernel name ~contexts ~cycles b))
+  | "input" :: name :: "size" :: s :: rest ->
+    with_builder acc (fun b ->
+        let* size = int_tok "size" s in
+        let invariant, rest =
+          match rest with
+          | "invariant" :: rest -> (true, rest)
+          | rest -> (false, rest)
+        in
+        let* before, consumers = split_arrow rest in
+        if before <> [] then Error "unexpected tokens before '->'"
+        else if consumers = [] then Error "input needs at least one consumer"
+        else Ok (B.input ~invariant name ~size ~consumers b))
+  | "result" :: name :: "size" :: s :: "from" :: producer :: rest ->
+    with_builder acc (fun b ->
+        let* size = int_tok "size" s in
+        let* before, after = split_arrow rest in
+        if before <> [] then Error "unexpected tokens before '->'"
+        else
+          let final, consumers =
+            match List.rev after with
+            | "final" :: rev_consumers -> (true, List.rev rev_consumers)
+            | _ -> (false, after)
+          in
+          if consumers = [] then
+            Error "result needs at least one consumer (or use 'final')"
+          else Ok (B.result ~final name ~size ~producer ~consumers b))
+  | "final" :: name :: "size" :: s :: "from" :: producer :: [] ->
+    with_builder acc (fun b ->
+        let* size = int_tok "size" s in
+        Ok (B.final name ~size ~producer b))
+  | "partition" :: sizes ->
+    if sizes = [] then Error "partition needs at least one size"
+    else
+      let* sizes =
+        List.fold_left
+          (fun acc' s ->
+            let* l = acc' in
+            let* n = int_tok "partition size" s in
+            Ok (n :: l))
+          (Ok []) sizes
+      in
+      acc.acc_partition <- Some (List.rev sizes);
+      Ok ()
+  | [ "fb"; n ] ->
+    let* words = int_tok "fb" n in
+    acc.acc_fb <- Some words;
+    Ok ()
+  | [ "cm"; n ] ->
+    let* words = int_tok "cm" n in
+    acc.acc_cm <- Some words;
+    Ok ()
+  | first :: _ -> Error (Printf.sprintf "unrecognised directive %S" first)
+
+let parse text =
+  let acc =
+    { builder = None; acc_partition = None; acc_fb = None; acc_cm = None }
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec loop lineno = function
+    | [] -> Ok ()
+    | line :: rest -> (
+      match parse_directive acc (tokens line) with
+      | Ok () -> loop (lineno + 1) rest
+      | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+  in
+  let* () = loop 1 lines in
+  match acc.builder with
+  | None -> Error "empty specification (no 'app' directive)"
+  | Some b -> (
+    match B.build b with
+    | app ->
+      Ok
+        {
+          app;
+          partition = acc.acc_partition;
+          fb_set_size = acc.acc_fb;
+          cm_capacity = acc.acc_cm;
+        }
+    | exception Invalid_argument msg -> Error msg)
+
+let load_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error msg -> Error msg
+
+let render spec =
+  let buf = Buffer.create 1024 in
+  let app = spec.app in
+  Buffer.add_string buf
+    (Printf.sprintf "app %s iterations %d\n\n" app.Kernel_ir.Application.name
+       app.Kernel_ir.Application.iterations);
+  Array.iter
+    (fun (k : Kernel_ir.Kernel.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "kernel %s contexts %d cycles %d\n"
+           k.Kernel_ir.Kernel.name k.contexts k.exec_cycles))
+    app.Kernel_ir.Application.kernels;
+  Buffer.add_char buf '\n';
+  let kernel_name id =
+    (Kernel_ir.Application.kernel app id).Kernel_ir.Kernel.name
+  in
+  List.iter
+    (fun (d : Kernel_ir.Data.t) ->
+      let consumers =
+        String.concat " " (List.map kernel_name d.Kernel_ir.Data.consumers)
+      in
+      match d.Kernel_ir.Data.producer with
+      | Kernel_ir.Data.External ->
+        Buffer.add_string buf
+          (Printf.sprintf "input %s size %d%s -> %s\n" d.Kernel_ir.Data.name
+             d.Kernel_ir.Data.size
+             (if d.Kernel_ir.Data.invariant then " invariant" else "")
+             consumers)
+      | Kernel_ir.Data.Produced_by p ->
+        if d.Kernel_ir.Data.consumers = [] then
+          Buffer.add_string buf
+            (Printf.sprintf "final %s size %d from %s\n" d.Kernel_ir.Data.name
+               d.Kernel_ir.Data.size (kernel_name p))
+        else
+          Buffer.add_string buf
+            (Printf.sprintf "result %s size %d from %s -> %s%s\n"
+               d.Kernel_ir.Data.name d.Kernel_ir.Data.size (kernel_name p)
+               consumers
+               (if d.Kernel_ir.Data.final then " final" else "")))
+    app.Kernel_ir.Application.data;
+  (match spec.partition with
+  | Some sizes ->
+    Buffer.add_string buf
+      (Printf.sprintf "\npartition %s\n"
+         (String.concat " " (List.map string_of_int sizes)))
+  | None -> ());
+  (match spec.fb_set_size with
+  | Some n -> Buffer.add_string buf (Printf.sprintf "fb %d\n" n)
+  | None -> ());
+  (match spec.cm_capacity with
+  | Some n -> Buffer.add_string buf (Printf.sprintf "cm %d\n" n)
+  | None -> ());
+  Buffer.contents buf
+
+let config ?(default_fb = 1024) spec =
+  let fb_set_size = Option.value ~default:default_fb spec.fb_set_size in
+  match spec.cm_capacity with
+  | Some cm_capacity -> Morphosys.Config.make ~fb_set_size ~cm_capacity ()
+  | None -> Morphosys.Config.m1 ~fb_set_size
+
+let clustering spec =
+  match spec.partition with
+  | Some sizes -> Kernel_ir.Cluster.of_partition spec.app sizes
+  | None -> Kernel_ir.Cluster.singleton_per_kernel spec.app

@@ -1,0 +1,53 @@
+(** A small textual format for applications, so workloads can be described
+    in files instead of OCaml code:
+
+    {v
+    # MPEG-like pipeline
+    app demo iterations 16
+
+    kernel iq    contexts 384 cycles 520
+    kernel idct  contexts 384 cycles 560
+
+    input  coeff   size 256 -> iq
+    input  hdr     size 56  -> iq idct
+    result dequant size 320 from iq -> idct
+    final  out     size 256 from idct
+
+    partition 1 1
+    fb 1024
+    cm 2048
+    v}
+
+    Grammar (one directive per line, [#] comments):
+    - [app NAME iterations N] — must appear first;
+    - [kernel NAME contexts N cycles N] — in execution order;
+    - [input NAME size N [invariant] -> CONSUMER...] — external data;
+      [invariant] marks an iteration-invariant constant table;
+    - [result NAME size N from PRODUCER -> CONSUMER... [final]] — a kernel
+      result, optionally also stored to external memory;
+    - [final NAME size N from PRODUCER] — a pure final result;
+    - [partition N N ...] — optional kernel schedule;
+    - [fb N] / [cm N] — optional machine sizes. *)
+
+type spec = {
+  app : Kernel_ir.Application.t;
+  partition : int list option;
+  fb_set_size : int option;
+  cm_capacity : int option;
+}
+
+val parse : string -> (spec, string) result
+(** Errors carry the offending line number. *)
+
+val load_file : string -> (spec, string) result
+
+val render : spec -> string
+(** Pretty-print a spec back to the textual format ([parse] of the result
+    yields an equivalent spec — property-tested). *)
+
+val config : ?default_fb:int -> spec -> Morphosys.Config.t
+(** Machine from the spec's [fb]/[cm] directives (defaults: [default_fb]
+    or 1024, CM 2048). *)
+
+val clustering : spec -> Kernel_ir.Cluster.clustering
+(** The spec's partition, or one cluster per kernel when absent. *)

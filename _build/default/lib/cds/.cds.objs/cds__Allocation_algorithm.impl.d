@@ -1,0 +1,1 @@
+lib/cds/allocation_algorithm.ml: Fb_alloc Kernel_ir List Morphosys Printf Retention Sched Sharing

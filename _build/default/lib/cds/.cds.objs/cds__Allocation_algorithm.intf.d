@@ -1,0 +1,1 @@
+lib/cds/allocation_algorithm.mli: Fb_alloc Kernel_ir Morphosys Retention

@@ -1,0 +1,1 @@
+lib/cds/complete_data_scheduler.ml: Kernel_ir List Morphosys Option Printf Retention Sched Sharing

@@ -1,0 +1,1 @@
+lib/cds/complete_data_scheduler.mli: Kernel_ir Morphosys Retention Sched Stdlib

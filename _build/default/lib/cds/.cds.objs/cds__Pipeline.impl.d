@@ -1,0 +1,1 @@
+lib/cds/pipeline.ml: Allocation_algorithm Complete_data_scheduler Kernel_ir Morphosys Msim Option Result Sched

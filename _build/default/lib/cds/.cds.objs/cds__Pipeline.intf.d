@@ -1,0 +1,1 @@
+lib/cds/pipeline.mli: Allocation_algorithm Complete_data_scheduler Kernel_ir Morphosys Msim Sched

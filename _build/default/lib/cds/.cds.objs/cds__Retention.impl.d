@@ -1,0 +1,1 @@
+lib/cds/retention.ml: Format Kernel_ir List Logs Morphosys Msutil Printf Sched Sharing Time_factor

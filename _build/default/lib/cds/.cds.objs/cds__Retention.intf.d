@@ -1,0 +1,1 @@
+lib/cds/retention.mli: Format Kernel_ir Morphosys Sharing

@@ -1,0 +1,1 @@
+lib/cds/sharing.ml: Format Kernel_ir List Morphosys Msutil

@@ -1,0 +1,1 @@
+lib/cds/sharing.mli: Format Kernel_ir Morphosys

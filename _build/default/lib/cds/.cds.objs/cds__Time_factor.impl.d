@@ -1,0 +1,1 @@
+lib/cds/time_factor.ml: Kernel_ir List Sharing

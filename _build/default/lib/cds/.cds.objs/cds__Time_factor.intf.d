@@ -1,0 +1,1 @@
+lib/cds/time_factor.mli: Kernel_ir Sharing

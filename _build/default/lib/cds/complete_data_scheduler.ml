@@ -1,0 +1,114 @@
+module IE = Kernel_ir.Info_extractor
+module Cluster = Kernel_ir.Cluster
+module Data = Kernel_ir.Data
+
+type result = {
+  schedule : Sched.Schedule.t;
+  retention : Retention.decision;
+  rf : int;
+  data_words_avoided_per_iteration : int;
+}
+
+(* An object can have one retention candidate per FB set (the same shared
+   datum may be retained in both sets), so the skip test quantifies over all
+   retained candidates for the object. *)
+let skipped retained (d : Data.t) ~cluster_id ~skip =
+  List.exists
+    (fun c -> (Sharing.data c).Data.id = d.Data.id && skip c ~cluster_id)
+    retained
+
+let generators app clustering (decision : Retention.decision) =
+  let profiles = IE.profiles app clustering in
+  let profile_of (c : Cluster.t) = List.nth profiles c.Cluster.id in
+  let loads (c : Cluster.t) ~round ~iters ~base_iter =
+    let is_retained (d : Data.t) =
+      List.exists
+        (fun cand -> (Sharing.data cand).Data.id = d.Data.id)
+        decision.retained
+    in
+    let objects =
+      List.filter
+        (fun (d : Data.t) ->
+          (* a retained invariant table is loaded exactly once, by its first
+             consumer cluster on round 0 *)
+          if d.Data.invariant && is_retained d && round > 0 then false
+          else
+            not
+              (skipped decision.retained d ~cluster_id:c.Cluster.id
+                 ~skip:Sharing.skips_load))
+        (profile_of c).IE.external_inputs
+    in
+    Sched.Xfer_gen.loads_for_objects ~set:c.Cluster.fb_set ~objects ~iters
+      ~base_iter
+  in
+  let stores (c : Cluster.t) ~round:_ ~iters ~base_iter =
+    let objects =
+      List.filter
+        (fun d ->
+          not
+            (skipped decision.retained d ~cluster_id:c.Cluster.id
+               ~skip:Sharing.skips_store))
+        (profile_of c).IE.outliving
+    in
+    Sched.Xfer_gen.stores_for_objects ~set:c.Cluster.fb_set ~objects ~iters
+      ~base_iter
+  in
+  { Sched.Step_builder.loads; stores }
+
+let schedule ?(retention = true) ?(cross_set = false)
+    (config : Morphosys.Config.t) app clustering =
+  match Sched.Context_scheduler.plan config app clustering with
+  | Error e -> Error ("cds: " ^ e)
+  | Ok ctx_plan -> (
+    (* The CDS allocator packs the whole set (paper §5: minimal memory, no
+       fragmentation), so its RF bound is computed against the full FB
+       size; among the feasible factors the scheduler keeps the fastest
+       (retention is recomputed per candidate — pinned copies scale with
+       RF). *)
+    match
+      Sched.Reuse_factor.common_split ~fb_set_size:config.fb_set_size
+        ~footprints:(Sched.Data_scheduler.footprints_split app clustering)
+        ~iterations:app.Kernel_ir.Application.iterations
+    with
+    | 0 ->
+      Error
+        (Printf.sprintf
+           "cds: some cluster's DS(C) exceeds the FB set of %dw"
+           config.fb_set_size)
+    | rf_max ->
+      let scheduler_name = if cross_set then "cds-xset" else "cds" in
+      let candidate rf =
+        let decision =
+          if retention then
+            Retention.choose ~cross_set config app clustering ~rf
+          else Retention.none
+        in
+        let schedule =
+          Sched.Step_builder.build ~cross_set config app clustering ~rf
+            ~ctx_plan
+            ~generators:(generators app clustering decision)
+            ~scheduler:scheduler_name
+        in
+        (schedule, decision)
+      in
+      let chosen, decision =
+        (* keep the fastest; ties prefer the larger RF *)
+        List.fold_left
+          (fun acc rf ->
+            let (schedule, _) as cand = candidate rf in
+            let cycles = Sched.Schedule_cost.estimate config schedule in
+            match acc with
+            | Some (_, best_cycles) when best_cycles < cycles -> acc
+            | _ -> Some (cand, cycles))
+          None
+          (List.init rf_max (fun i -> i + 1))
+        |> Option.get |> fst
+      in
+      Ok
+        {
+          schedule = chosen;
+          retention = decision;
+          rf = chosen.Sched.Schedule.rf;
+          data_words_avoided_per_iteration =
+            decision.Retention.avoided_words_per_iteration;
+        })

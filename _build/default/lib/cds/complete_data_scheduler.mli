@@ -1,0 +1,36 @@
+(** The Complete Data Scheduler — the paper's contribution.
+
+    Builds on the Data Scheduler: same cluster footprints [DS(C)] and the
+    same loop-fission scheme, but (a) its fragmentation-free allocator packs
+    the whole frame-buffer set, so its common reuse factor RF can exceed the
+    Data Scheduler's (paper §5: the improved allocation "allows it to
+    increase RF"), and (b) it retains TF-chosen shared data and shared
+    results in the frame buffer ({!Retention}), so that
+
+    - a shared datum is loaded once per iteration instead of once per
+      consumer cluster, and
+    - a retained shared result neither travels to external memory nor is
+      reloaded by its consumer clusters (final results still perform their
+      mandatory store).
+
+    [~retention:false] ablates the retention pass (the schedule then equals
+    the Data Scheduler's); [~cross_set:true] enables the future-work
+    cross-set reuse. *)
+
+type result = {
+  schedule : Sched.Schedule.t;
+  retention : Retention.decision;
+  rf : int;
+  data_words_avoided_per_iteration : int;
+      (** the paper's DT column of Table 1 *)
+}
+
+val schedule :
+  ?retention:bool ->
+  ?cross_set:bool ->
+  Morphosys.Config.t ->
+  Kernel_ir.Application.t ->
+  Kernel_ir.Cluster.clustering ->
+  (result, string) Stdlib.result
+(** [Error] under the same conditions as the Data Scheduler (some [DS(C)]
+    exceeding the FB set even at RF = 1, or context-memory overflow). *)

@@ -1,0 +1,87 @@
+type scheduled = { schedule : Sched.Schedule.t; metrics : Msim.Metrics.t }
+
+type comparison = {
+  app : Kernel_ir.Application.t;
+  config : Morphosys.Config.t;
+  clustering : Kernel_ir.Cluster.clustering;
+  basic : (scheduled, string) result;
+  ds : (scheduled, string) result;
+  cds : (scheduled * Complete_data_scheduler.result, string) result;
+}
+
+let simulate ~validate config schedule =
+  if validate then Msim.Validate.check_exn schedule;
+  { schedule; metrics = Msim.Executor.run config schedule }
+
+let run ?(validate = true) ?(retention = true) ?(cross_set = false) config app
+    clustering =
+  let basic =
+    Result.map
+      (simulate ~validate config)
+      (Sched.Basic_scheduler.schedule config app clustering)
+  in
+  let ds =
+    Result.map
+      (simulate ~validate config)
+      (Sched.Data_scheduler.schedule config app clustering)
+  in
+  let cds =
+    Result.map
+      (fun (r : Complete_data_scheduler.result) ->
+        (simulate ~validate config r.Complete_data_scheduler.schedule, r))
+      (Complete_data_scheduler.schedule ~retention ~cross_set config app
+         clustering)
+  in
+  { app; config; clustering; basic; ds; cds }
+
+let improvement t which =
+  match (t.basic, which) with
+  | Error _, _ -> None
+  | Ok baseline, `Ds ->
+    Result.to_option t.ds
+    |> Option.map (fun s ->
+           Msim.Metrics.improvement_over ~baseline:baseline.metrics s.metrics)
+  | Ok baseline, `Cds ->
+    Result.to_option t.cds
+    |> Option.map (fun (s, _) ->
+           Msim.Metrics.improvement_over ~baseline:baseline.metrics s.metrics)
+
+let ds_rf t =
+  match t.cds with
+  | Ok (_, r) -> Some r.Complete_data_scheduler.rf
+  | Error _ -> (
+    match t.ds with
+    | Ok s -> Some s.schedule.Sched.Schedule.rf
+    | Error _ -> None)
+
+let dt_words t =
+  match t.cds with
+  | Ok (_, r) ->
+    Some r.Complete_data_scheduler.data_words_avoided_per_iteration
+  | Error _ -> None
+
+let auto_clustering ?(scheduler = `Cds) config app =
+  let eval clustering =
+    let schedule =
+      match scheduler with
+      | `Basic -> Sched.Basic_scheduler.schedule config app clustering
+      | `Ds -> Sched.Data_scheduler.schedule config app clustering
+      | `Cds ->
+        Result.map
+          (fun (r : Complete_data_scheduler.result) ->
+            r.Complete_data_scheduler.schedule)
+          (Complete_data_scheduler.schedule config app clustering)
+    in
+    match schedule with
+    | Ok s -> Some (Msim.Executor.run config s).Msim.Metrics.total_cycles
+    | Error _ -> None
+  in
+  Sched.Kernel_scheduler.best app ~eval
+
+let allocation_report config app clustering =
+  Result.map
+    (fun (r : Complete_data_scheduler.result) ->
+      Allocation_algorithm.run config app clustering
+        ~rf:r.Complete_data_scheduler.rf
+        ~retention:r.Complete_data_scheduler.retention ~round:0)
+    (Complete_data_scheduler.schedule config app clustering)

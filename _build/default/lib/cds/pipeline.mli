@@ -1,0 +1,54 @@
+(** End-to-end compilation pipeline: kernel scheduling (clustering search),
+    the three data schedulers (Basic / DS / CDS), simulation, validation and
+    allocator statistics — everything Table 1 and Figure 6 need for one
+    experiment. *)
+
+type scheduled = { schedule : Sched.Schedule.t; metrics : Msim.Metrics.t }
+
+type comparison = {
+  app : Kernel_ir.Application.t;
+  config : Morphosys.Config.t;
+  clustering : Kernel_ir.Cluster.clustering;
+  basic : (scheduled, string) result;
+  ds : (scheduled, string) result;
+  cds : (scheduled * Complete_data_scheduler.result, string) result;
+}
+
+val run :
+  ?validate:bool ->
+  ?retention:bool ->
+  ?cross_set:bool ->
+  Morphosys.Config.t ->
+  Kernel_ir.Application.t ->
+  Kernel_ir.Cluster.clustering ->
+  comparison
+(** Schedules the application three ways on the given clustering and
+    simulates each result. With [validate] (default true) every produced
+    schedule is checked by {!Msim.Validate} first.
+    @raise Failure if validation finds a violation (a scheduler bug). *)
+
+val improvement : comparison -> [ `Ds | `Cds ] -> float option
+(** Relative execution improvement over the Basic Scheduler in percent
+    (Figure 6); [None] when either party is infeasible. *)
+
+val ds_rf : comparison -> int option
+(** The reuse factor DS/CDS achieved (Table 1's RF column). *)
+
+val dt_words : comparison -> int option
+(** Data words avoided per iteration by CDS retention (Table 1's DT). *)
+
+val auto_clustering :
+  ?scheduler:[ `Basic | `Ds | `Cds ] ->
+  Morphosys.Config.t ->
+  Kernel_ir.Application.t ->
+  (Kernel_ir.Cluster.clustering * int) option
+(** Kernel-scheduler search: the clustering minimising the chosen
+    scheduler's simulated cycles (default [`Cds]); [None] when no partition
+    is feasible. *)
+
+val allocation_report :
+  Morphosys.Config.t ->
+  Kernel_ir.Application.t ->
+  Kernel_ir.Cluster.clustering ->
+  (Allocation_algorithm.result, string) result
+(** Runs the Figure 4 allocator for round 0 of the CDS schedule. *)

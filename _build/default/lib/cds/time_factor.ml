@@ -1,0 +1,12 @@
+let tds = Kernel_ir.Application.total_data_words
+
+let tf ~tds (candidate : Sharing.t) =
+  if tds <= 0 then invalid_arg "Time_factor.tf: tds must be positive";
+  float_of_int candidate.Sharing.avoided_words /. float_of_int tds
+
+let rank ~tds candidates =
+  let key (c : Sharing.t) =
+    let d = Sharing.data c in
+    (-.tf ~tds c, -d.Kernel_ir.Data.size, d.Kernel_ir.Data.id)
+  in
+  List.sort (fun a b -> compare (key a) (key b)) candidates

@@ -1,0 +1,21 @@
+(** The time factor TF (paper §4) — the figure of merit the Complete Data
+    Scheduler ranks retention candidates by:
+
+    - shared data:    [TF(D_i..j)   = D * (N - 1) / TDS]
+    - shared results: [TF(R_i,j..k) = R * (N + 1) / TDS]
+
+    where [N] is the number of clusters using the object as input data and
+    TDS the application's total data-and-result size. The numerator is
+    exactly the external-memory words retention avoids per iteration, so TF
+    orders candidates by traffic saved (a final shared result still needs
+    its store, hence [N] instead of [N + 1] for it). *)
+
+val tds : Kernel_ir.Application.t -> int
+(** Total data and result size of the application (words per iteration). *)
+
+val tf : tds:int -> Sharing.t -> float
+(** [avoided_words / tds]. @raise Invalid_argument if [tds <= 0]. *)
+
+val rank : tds:int -> Sharing.t list -> Sharing.t list
+(** Candidates sorted by decreasing TF; ties broken by larger object size,
+    then by data id (deterministic). *)

@@ -1,0 +1,1 @@
+lib/codegen/asm.ml: Buffer Format Instruction List Morphosys Printf Result String

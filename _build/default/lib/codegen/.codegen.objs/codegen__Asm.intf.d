@@ -1,0 +1,1 @@
+lib/codegen/asm.mli: Instruction

@@ -1,0 +1,1 @@
+lib/codegen/emit.ml: Instruction Kernel_ir List Morphosys Printf Sched

@@ -1,0 +1,1 @@
+lib/codegen/instruction.ml: Format List Morphosys Msutil Printf

@@ -1,0 +1,1 @@
+lib/codegen/instruction.mli: Format Morphosys

@@ -1,0 +1,1 @@
+lib/codegen/interp.ml: Format Hashtbl Instruction List Morphosys Sched

@@ -1,0 +1,1 @@
+lib/codegen/interp.mli: Format Instruction Morphosys

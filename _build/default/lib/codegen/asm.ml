@@ -1,0 +1,140 @@
+module Fb = Morphosys.Frame_buffer
+
+let rec render_instruction buf ~indent insn =
+  match insn with
+  | Instruction.Loop { start; stride; count; body } ->
+    Buffer.add_string buf
+      (Printf.sprintf "%sloop    %d, %d, %d\n" indent start stride count);
+    List.iter (render_instruction buf ~indent:(indent ^ "  ")) body;
+    Buffer.add_string buf (indent ^ "endloop\n")
+  | insn ->
+    Buffer.add_string buf indent;
+    Buffer.add_string buf (Format.asprintf "%a" Instruction.pp insn);
+    Buffer.add_char buf '\n'
+
+let to_string program =
+  let buf = Buffer.create 4096 in
+  List.iter (render_instruction buf ~indent:"") program;
+  Buffer.contents buf
+
+let set_of_string = function
+  | "A" -> Some Fb.Set_a
+  | "B" -> Some Fb.Set_b
+  | _ -> None
+
+let split_operands rest =
+  String.split_on_char ',' rest |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+
+let int_tok what s =
+  match int_of_string_opt s with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "bad integer %S for %s" s what)
+
+(* "name@3" = absolute, "name@+2" / "name@-1" = loop-relative *)
+let instance_of_string s =
+  match String.rindex_opt s '@' with
+  | None -> Error (Printf.sprintf "missing '@' in data reference %S" s)
+  | Some i ->
+    let name = String.sub s 0 i in
+    let iter = String.sub s (i + 1) (String.length s - i - 1) in
+    if name = "" then Error (Printf.sprintf "empty name in %S" s)
+    else if iter = "" then Error (Printf.sprintf "empty iteration in %S" s)
+    else
+      let relative = iter.[0] = '+' || iter.[0] = '-' in
+      Result.map
+        (fun n ->
+          (name, if relative then Instruction.Rel n else Instruction.Abs n))
+        (int_tok "iteration" iter)
+
+let ( let* ) = Result.bind
+
+type parsed = Plain of Instruction.t | Loop_open of int * int * int | Loop_close
+
+let parse_line line =
+  let line = String.trim line in
+  if line = "" then Ok None
+  else if String.length line >= 1 && line.[0] = ';' then
+    Ok
+      (Some
+         (Plain
+            (Instruction.Comment
+               (String.trim (String.sub line 1 (String.length line - 1))))))
+  else
+    let mnemonic, rest =
+      match String.index_opt line ' ' with
+      | None -> (line, "")
+      | Some i ->
+        (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+    in
+    let operands = split_operands rest in
+    match (mnemonic, operands) with
+    | "ldctxt", [ label; words ] ->
+      let* words = int_tok "words" words in
+      Ok (Some (Plain (Instruction.Ldctxt { label; words })))
+    | "ldfb", [ set; ref_; words ] | "stfb", [ set; ref_; words ] -> (
+      match set_of_string set with
+      | None -> Error (Printf.sprintf "bad FB set %S" set)
+      | Some set ->
+        let* name, iter = instance_of_string ref_ in
+        let* words = int_tok "words" words in
+        Ok
+          (Some
+             (Plain
+                (if mnemonic = "ldfb" then
+                   Instruction.Ldfb { set; name; iter; words }
+                 else Instruction.Stfb { set; name; iter; words }))))
+    | "wrfb", [ set; ref_ ] -> (
+      match set_of_string set with
+      | None -> Error (Printf.sprintf "bad FB set %S" set)
+      | Some set ->
+        let* name, iter = instance_of_string ref_ in
+        Ok (Some (Plain (Instruction.Wrfb { set; name; iter }))))
+    | "dmaw", [] -> Ok (Some (Plain Instruction.Dma_wait))
+    | "cbcast", [ kernel; contexts ] ->
+      let* contexts = int_tok "contexts" contexts in
+      Ok (Some (Plain (Instruction.Cbcast { kernel; contexts })))
+    | "exec", [ kernel; cycles; iterations ] ->
+      let* cycles = int_tok "cycles" cycles in
+      let* iterations = int_tok "iterations" iterations in
+      Ok (Some (Plain (Instruction.Execute { kernel; cycles; iterations })))
+    | "loop", [ start; stride; count ] ->
+      let* start = int_tok "start" start in
+      let* stride = int_tok "stride" stride in
+      let* count = int_tok "count" count in
+      Ok (Some (Loop_open (start, stride, count)))
+    | "endloop", [] -> Ok (Some Loop_close)
+    | "halt", [] -> Ok (Some (Plain Instruction.Halt))
+    | _ -> Error (Printf.sprintf "unrecognised instruction %S" line)
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  (* stack of (loop header, reversed instructions collected so far) *)
+  let rec loop stack acc lineno = function
+    | [] -> (
+      match stack with
+      | [] -> Ok (List.rev acc)
+      | _ -> Error (Printf.sprintf "line %d: unterminated loop" lineno))
+    | line :: rest -> (
+      match parse_line line with
+      | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+      | Ok None -> loop stack acc (lineno + 1) rest
+      | Ok (Some (Plain insn)) -> (
+        match stack with
+        | [] -> loop stack (insn :: acc) (lineno + 1) rest
+        | (header, body) :: outer ->
+          loop ((header, insn :: body) :: outer) acc (lineno + 1) rest)
+      | Ok (Some (Loop_open (start, stride, count))) ->
+        loop (((start, stride, count), []) :: stack) acc (lineno + 1) rest
+      | Ok (Some Loop_close) -> (
+        match stack with
+        | [] -> Error (Printf.sprintf "line %d: endloop without loop" lineno)
+        | ((start, stride, count), body) :: outer ->
+          let insn =
+            Instruction.Loop { start; stride; count; body = List.rev body }
+          in
+          (match outer with
+          | [] -> loop [] (insn :: acc) (lineno + 1) rest
+          | (h, b) :: outer' -> loop ((h, insn :: b) :: outer') acc (lineno + 1) rest)))
+  in
+  loop [] [] 1 lines

@@ -1,0 +1,28 @@
+(** Assembly listing syntax for control programs — rendering and parsing
+    (round-trip safe, property-tested).
+
+    One instruction per line; loop bodies are bracketed by
+    [loop start, stride, count] / [endloop] and may nest. Data references
+    are [name@3] (absolute iteration) or [name@+2] / [name@-1]
+    (loop-relative):
+    {v
+    ; step 0: dma (prime first cluster)
+    ldctxt  Cl0, 768
+    ldfb    A, coeff@0, 256
+    dmaw
+    loop    2, 2, 28
+      ldfb    A, coeff@+2, 256
+      cbcast  iq, 384
+      exec    iq, 520, 2
+      wrfb    A, dequant@+0
+      stfb    B, strip_out@-1, 256
+      dmaw
+    endloop
+    halt
+    v} *)
+
+val to_string : Instruction.program -> string
+
+val parse : string -> (Instruction.program, string) result
+(** Blank lines are skipped; [; ...] lines become [Comment]s. The error
+    message carries the offending line number. *)

@@ -1,0 +1,103 @@
+module Fb = Morphosys.Frame_buffer
+
+type iter_ref = Abs of int | Rel of int
+
+type t =
+  | Ldctxt of { label : string; words : int }
+  | Ldfb of { set : Fb.set; name : string; iter : iter_ref; words : int }
+  | Stfb of { set : Fb.set; name : string; iter : iter_ref; words : int }
+  | Dma_wait
+  | Cbcast of { kernel : string; contexts : int }
+  | Execute of { kernel : string; cycles : int; iterations : int }
+  | Wrfb of { set : Fb.set; name : string; iter : iter_ref }
+  | Loop of { start : int; stride : int; count : int; body : t list }
+  | Comment of string
+  | Halt
+
+type program = t list
+
+let pp_iter_ref fmt = function
+  | Abs i -> Format.fprintf fmt "%d" i
+  | Rel k -> Format.fprintf fmt "%+d" k
+
+let rec pp fmt = function
+  | Ldctxt { label; words } -> Format.fprintf fmt "ldctxt  %s, %d" label words
+  | Ldfb { set; name; iter; words } ->
+    Format.fprintf fmt "ldfb    %s, %s@%a, %d" (Fb.set_to_string set) name
+      pp_iter_ref iter words
+  | Stfb { set; name; iter; words } ->
+    Format.fprintf fmt "stfb    %s, %s@%a, %d" (Fb.set_to_string set) name
+      pp_iter_ref iter words
+  | Dma_wait -> Format.fprintf fmt "dmaw"
+  | Cbcast { kernel; contexts } ->
+    Format.fprintf fmt "cbcast  %s, %d" kernel contexts
+  | Execute { kernel; cycles; iterations } ->
+    Format.fprintf fmt "exec    %s, %d, %d" kernel cycles iterations
+  | Wrfb { set; name; iter } ->
+    Format.fprintf fmt "wrfb    %s, %s@%a" (Fb.set_to_string set) name
+      pp_iter_ref iter
+  | Loop { start; stride; count; body } ->
+    Format.fprintf fmt "loop    %d, %d, %d" start stride count;
+    List.iter (fun insn -> Format.fprintf fmt "@\n  %a" pp insn) body;
+    Format.fprintf fmt "@\nendloop"
+  | Comment text -> Format.fprintf fmt "; %s" text
+  | Halt -> Format.fprintf fmt "halt"
+
+let equal (a : t) (b : t) = a = b
+
+let resolve iter ~induction =
+  match (iter, induction) with
+  | Abs i, _ -> Ok i
+  | Rel k, Some base -> Ok (base + k)
+  | Rel k, None ->
+    Error (Printf.sprintf "relative reference +%d outside any loop" k)
+
+let rec unroll_with ~induction program =
+  List.concat_map
+    (fun insn ->
+      match insn with
+      | Loop { start; stride; count; body } ->
+        List.concat
+          (List.init count (fun i ->
+               unroll_with ~induction:(Some (start + (i * stride))) body))
+      | Ldfb ({ iter = Rel _; _ } as r) -> (
+        match resolve r.iter ~induction with
+        | Ok i -> [ Ldfb { r with iter = Abs i } ]
+        | Error msg -> invalid_arg ("Instruction.unroll: " ^ msg))
+      | Stfb ({ iter = Rel _; _ } as r) -> (
+        match resolve r.iter ~induction with
+        | Ok i -> [ Stfb { r with iter = Abs i } ]
+        | Error msg -> invalid_arg ("Instruction.unroll: " ^ msg))
+      | Wrfb ({ iter = Rel _; _ } as r) -> (
+        match resolve r.iter ~induction with
+        | Ok i -> [ Wrfb { r with iter = Abs i } ]
+        | Error msg -> invalid_arg ("Instruction.unroll: " ^ msg))
+      | other -> [ other ])
+    program
+
+let unroll program = unroll_with ~induction:None program
+
+let rec size program =
+  Msutil.Listx.sum_by
+    (function
+      | Comment _ -> 0
+      | Loop { body; _ } -> 1 + size body
+      | _ -> 1)
+    program
+
+let rec dma_words program =
+  Msutil.Listx.sum_by
+    (function
+      | Ldctxt { words; _ } | Ldfb { words; _ } | Stfb { words; _ } -> words
+      | Loop { count; body; _ } -> count * dma_words body
+      | Dma_wait | Cbcast _ | Execute _ | Wrfb _ | Comment _ | Halt -> 0)
+    program
+
+let rec execute_cycles program =
+  Msutil.Listx.sum_by
+    (function
+      | Execute { cycles; iterations; _ } -> cycles * iterations
+      | Loop { count; body; _ } -> count * execute_cycles body
+      | Ldctxt _ | Ldfb _ | Stfb _ | Dma_wait | Cbcast _ | Wrfb _ | Comment _
+      | Halt -> 0)
+    program

@@ -1,0 +1,76 @@
+(** Control instructions for the TinyRISC processor that orchestrates
+    MorphoSys (the "Code Generator" box of the paper's Figure 2).
+
+    The real M1 extends a MIPS-like core with DMA and context-broadcast
+    instructions; this is the subset a data/context schedule compiles to.
+    DMA instructions are *asynchronous* — they enqueue work on the single
+    DMA channel and return immediately; [Dma_wait] joins the channel.
+
+    Data transfers reference object instances as a name plus an iteration
+    {!iter_ref}: [Abs i] is the global iteration [i]; [Rel k] resolves
+    against the enclosing {!constructor-Loop}'s induction value, which is
+    how one loop body serves every round (strided DMA addressing). *)
+
+type iter_ref =
+  | Abs of int  (** a fixed global iteration *)
+  | Rel of int  (** induction + k, inside a [Loop] body *)
+
+type t =
+  | Ldctxt of { label : string; words : int }
+      (** start a DMA transfer of context words into the context memory *)
+  | Ldfb of {
+      set : Morphosys.Frame_buffer.set;
+      name : string;
+      iter : iter_ref;
+      words : int;
+    }  (** start a DMA transfer from external memory into a frame-buffer set *)
+  | Stfb of {
+      set : Morphosys.Frame_buffer.set;
+      name : string;
+      iter : iter_ref;
+      words : int;
+    }  (** start a DMA transfer from a frame-buffer set to external memory *)
+  | Dma_wait  (** stall until every outstanding DMA transfer has finished *)
+  | Cbcast of { kernel : string; contexts : int }
+      (** broadcast a kernel's context words from the CM into the array
+          (row-parallel; the cheap dynamic reconfiguration) *)
+  | Execute of { kernel : string; cycles : int; iterations : int }
+      (** run the configured kernel for [iterations] consecutive
+          iterations of [cycles] RC-array cycles each *)
+  | Wrfb of { set : Morphosys.Frame_buffer.set; name : string; iter : iter_ref }
+      (** zero-cost marker: the preceding execution wrote this result block
+          into the frame buffer (lets the interpreter check later stores) *)
+  | Loop of { start : int; stride : int; count : int; body : t list }
+      (** zero-overhead hardware loop: run [body] [count] times with the
+          induction value [start], [start+stride], ... — [Rel k] references
+          and [Execute]s inside resolve against it *)
+  | Comment of string  (** listing annotation; no effect *)
+  | Halt
+
+type program = t list
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val pp_iter_ref : Format.formatter -> iter_ref -> unit
+
+val resolve : iter_ref -> induction:int option -> (int, string) result
+(** The global iteration an [iter_ref] denotes; [Rel] without an enclosing
+    loop is an error. *)
+
+val unroll : program -> program
+(** Expand every [Loop], rewriting [Rel] references to [Abs] against the
+    unrolled induction values; drops nothing else. The result contains no
+    [Loop] or [Rel]. *)
+
+val size : program -> int
+(** Instruction count, loops counted by their static body (code size), not
+    their trip count; comments excluded. *)
+
+val dma_words : program -> int
+(** Total words the program's DMA instructions move at run time (loops
+    multiply by their trip count). *)
+
+val execute_cycles : program -> int
+(** Total RC-array busy cycles of the [Execute] instructions at run time
+    (context broadcasts are machine-dependent and accounted by the
+    interpreter). *)

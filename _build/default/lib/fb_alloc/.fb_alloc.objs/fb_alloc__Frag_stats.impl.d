@@ -1,0 +1,1 @@
+lib/fb_alloc/frag_stats.ml: Array Format Layout

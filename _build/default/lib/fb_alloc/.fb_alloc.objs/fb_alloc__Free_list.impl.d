@@ -1,0 +1,1 @@
+lib/fb_alloc/free_list.ml: Format List Msutil

@@ -1,0 +1,1 @@
+lib/fb_alloc/free_list.mli: Format Msutil

@@ -1,0 +1,1 @@
+lib/fb_alloc/layout.ml: Array Buffer Free_list Hashtbl List Msutil Option Printf String

@@ -1,0 +1,1 @@
+lib/fb_alloc/layout.mli: Free_list Msutil

@@ -1,0 +1,40 @@
+type t = {
+  free_words : int;
+  largest_free : int;
+  free_blocks : int;
+  external_fragmentation : float;
+  splits : int;
+  placements : int;
+}
+
+let of_layout layout =
+  let free_words = Layout.free_words layout in
+  let largest_free = Layout.largest_free layout in
+  let free_blocks =
+    (* derive from the occupancy snapshot to avoid widening Layout's API *)
+    let snap = Layout.snapshot layout in
+    let count = ref 0 and in_free = ref false in
+    Array.iter
+      (fun cell ->
+        match cell with
+        | None -> if not !in_free then incr count; in_free := true
+        | Some _ -> in_free := false)
+      snap;
+    !count
+  in
+  {
+    free_words;
+    largest_free;
+    free_blocks;
+    external_fragmentation =
+      (if free_words = 0 then 0.
+       else 1. -. (float_of_int largest_free /. float_of_int free_words));
+    splits = Layout.splits layout;
+    placements = Layout.placements_done layout;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "free=%dw largest=%dw blocks=%d ext_frag=%.2f splits=%d/%d" t.free_words
+    t.largest_free t.free_blocks t.external_fragmentation t.splits
+    t.placements

@@ -1,0 +1,1 @@
+lib/kernel_ir/application.ml: Array Data Format Kernel List Msutil Printf String

@@ -1,0 +1,1 @@
+lib/kernel_ir/application.mli: Data Format Kernel

@@ -1,0 +1,1 @@
+lib/kernel_ir/builder.ml: Application Data Kernel List Printf

@@ -1,0 +1,1 @@
+lib/kernel_ir/cluster.ml: Application Format Kernel List Morphosys Msutil Printf String

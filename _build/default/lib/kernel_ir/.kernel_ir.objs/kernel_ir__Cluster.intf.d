@@ -1,0 +1,1 @@
+lib/kernel_ir/cluster.mli: Application Format Kernel Morphosys

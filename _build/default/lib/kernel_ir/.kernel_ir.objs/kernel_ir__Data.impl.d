@@ -1,0 +1,1 @@
+lib/kernel_ir/data.ml: Format Kernel List Msutil Printf String

@@ -1,0 +1,1 @@
+lib/kernel_ir/data.mli: Format Kernel

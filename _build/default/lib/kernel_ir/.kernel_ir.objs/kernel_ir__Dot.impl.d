@@ -1,0 +1,1 @@
+lib/kernel_ir/dot.ml: Application Array Buffer Cluster Data Kernel List Morphosys Printf

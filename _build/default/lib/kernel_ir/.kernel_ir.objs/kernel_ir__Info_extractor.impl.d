@@ -1,0 +1,1 @@
+lib/kernel_ir/info_extractor.ml: Application Cluster Data Format Kernel List Msutil String

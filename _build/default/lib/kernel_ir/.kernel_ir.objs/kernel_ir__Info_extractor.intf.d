@@ -1,0 +1,1 @@
+lib/kernel_ir/info_extractor.mli: Application Cluster Data Format Kernel

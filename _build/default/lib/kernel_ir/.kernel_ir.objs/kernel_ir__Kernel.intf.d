@@ -1,0 +1,1 @@
+lib/kernel_ir/kernel.mli: Format

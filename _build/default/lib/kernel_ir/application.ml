@@ -1,0 +1,84 @@
+type t = {
+  name : string;
+  kernels : Kernel.t array;
+  data : Data.t list;
+  iterations : int;
+}
+
+let fail fmt = Format.kasprintf invalid_arg fmt
+
+let check_unique what names =
+  let sorted = List.sort String.compare names in
+  let rec loop = function
+    | a :: (b :: _ as rest) ->
+      if String.equal a b then fail "Application.make: duplicate %s name %S" what a
+      else loop rest
+    | _ -> ()
+  in
+  loop sorted
+
+let make ~name ~kernels ~data ~iterations =
+  if iterations <= 0 then fail "Application.make: iterations must be positive";
+  if kernels = [] then fail "Application.make: no kernels";
+  List.iteri
+    (fun i (k : Kernel.t) ->
+      if k.id <> i then
+        fail "Application.make: kernel %S has id %d at position %d" k.name k.id i)
+    kernels;
+  check_unique "kernel" (List.map (fun (k : Kernel.t) -> k.name) kernels);
+  check_unique "data" (List.map (fun (d : Data.t) -> d.name) data);
+  let n = List.length kernels in
+  let check_kid what (d : Data.t) kid =
+    if kid < 0 || kid >= n then
+      fail "Application.make: data %S references unknown %s kernel %d" d.name
+        what kid
+  in
+  List.iter
+    (fun (d : Data.t) ->
+      (match d.producer with
+      | Data.External -> ()
+      | Data.Produced_by k -> check_kid "producer" d k);
+      List.iter (check_kid "consumer" d) d.consumers)
+    data;
+  let data = List.sort (fun (a : Data.t) b -> compare a.id b.id) data in
+  { name; kernels = Array.of_list kernels; data; iterations }
+
+let n_kernels t = Array.length t.kernels
+
+let kernel t id =
+  if id < 0 || id >= n_kernels t then
+    invalid_arg (Printf.sprintf "Application.kernel: bad id %d" id);
+  t.kernels.(id)
+
+let kernel_by_name t name =
+  match Array.find_opt (fun (k : Kernel.t) -> k.name = name) t.kernels with
+  | Some k -> k
+  | None -> raise Not_found
+
+let data_by_name t name =
+  match List.find_opt (fun (d : Data.t) -> d.name = name) t.data with
+  | Some d -> d
+  | None -> raise Not_found
+
+let inputs_of t kid = List.filter (fun d -> Data.consumed_by d kid) t.data
+
+let outputs_of t kid =
+  List.filter (fun (d : Data.t) -> d.producer = Data.Produced_by kid) t.data
+
+let external_data t = List.filter Data.is_external t.data
+let results t = List.filter Data.is_result t.data
+let final_results t = List.filter (fun (d : Data.t) -> d.final) t.data
+
+let total_data_words t = Msutil.Listx.sum_by (fun (d : Data.t) -> d.size) t.data
+
+let total_context_words t =
+  Array.to_list t.kernels
+  |> Msutil.Listx.sum_by (fun (k : Kernel.t) -> k.contexts)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>app %S (%d iterations)@,kernels:@," t.name
+    t.iterations;
+  Array.iter (fun k -> Format.fprintf fmt "  %a@," Kernel.pp k) t.kernels;
+  Format.fprintf fmt "data:@,";
+  List.iter (fun d -> Format.fprintf fmt "  %a@," Data.pp d) t.data;
+  Format.fprintf fmt "@]"

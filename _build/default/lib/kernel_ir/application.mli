@@ -1,0 +1,47 @@
+(** A complete application: an ordered kernel sequence, its data-flow, and
+    the number of iterations the sequence is executed to process the whole
+    input stream (paper §3: "composed of a sequence of kernels that are
+    consecutively executed over a part of the input data, until all the data
+    are processed"). *)
+
+type t = private {
+  name : string;
+  kernels : Kernel.t array;  (** execution order; [kernels.(i).id = i] *)
+  data : Data.t list;  (** every data object, ordered by id *)
+  iterations : int;  (** total iterations [n] of the kernel sequence *)
+}
+
+val make :
+  name:string -> kernels:Kernel.t list -> data:Data.t list -> iterations:int -> t
+(** Validates the whole application:
+    kernel ids are exactly [0 .. len-1] in order, kernel and data names are
+    unique, every consumer/producer id refers to an existing kernel,
+    [iterations > 0].
+    @raise Invalid_argument with a diagnostic otherwise. *)
+
+val n_kernels : t -> int
+val kernel : t -> Kernel.id -> Kernel.t
+(** @raise Invalid_argument on out-of-range id. *)
+
+val kernel_by_name : t -> string -> Kernel.t
+(** @raise Not_found *)
+
+val data_by_name : t -> string -> Data.t
+(** @raise Not_found *)
+
+val inputs_of : t -> Kernel.id -> Data.t list
+(** Data objects consumed by the kernel, ordered by data id. *)
+
+val outputs_of : t -> Kernel.id -> Data.t list
+(** Data objects produced by the kernel, ordered by data id. *)
+
+val external_data : t -> Data.t list
+val results : t -> Data.t list
+val final_results : t -> Data.t list
+
+val total_data_words : t -> int
+(** Total words of all data objects per iteration — the paper's TDS
+    (total data and result sizes) denominator of the TF factor. *)
+
+val total_context_words : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,84 @@
+type pending_data = {
+  d_name : string;
+  d_size : int;
+  d_producer : string option;
+  d_consumers : string list;
+  d_final : bool;
+  d_invariant : bool;
+}
+
+type t = {
+  app_name : string;
+  iterations : int;
+  rev_kernels : Kernel.t list;
+  rev_data : pending_data list;
+}
+
+let create app_name ~iterations =
+  { app_name; iterations; rev_kernels = []; rev_data = [] }
+
+let kernel name ~contexts ~cycles t =
+  let id = List.length t.rev_kernels in
+  let k = Kernel.make ~id ~name ~contexts ~exec_cycles:cycles in
+  { t with rev_kernels = k :: t.rev_kernels }
+
+let add_data d t = { t with rev_data = d :: t.rev_data }
+
+let input ?(invariant = false) name ~size ~consumers t =
+  add_data
+    {
+      d_name = name;
+      d_size = size;
+      d_producer = None;
+      d_consumers = consumers;
+      d_final = false;
+      d_invariant = invariant;
+    }
+    t
+
+let result ?(final = false) name ~size ~producer ~consumers t =
+  add_data
+    {
+      d_name = name;
+      d_size = size;
+      d_producer = Some producer;
+      d_consumers = consumers;
+      d_final = final;
+      d_invariant = false;
+    }
+    t
+
+let final name ~size ~producer t =
+  add_data
+    {
+      d_name = name;
+      d_size = size;
+      d_producer = Some producer;
+      d_consumers = [];
+      d_final = true;
+      d_invariant = false;
+    }
+    t
+
+let build t =
+  let kernels = List.rev t.rev_kernels in
+  let kernel_id name =
+    match List.find_opt (fun (k : Kernel.t) -> k.name = name) kernels with
+    | Some k -> k.id
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Builder.build: unknown kernel %S in app %S" name
+           t.app_name)
+  in
+  let data =
+    List.rev t.rev_data
+    |> List.mapi (fun id p ->
+           Data.make ~invariant:p.d_invariant ~id ~name:p.d_name ~size:p.d_size
+             ~producer:
+               (match p.d_producer with
+               | None -> Data.External
+               | Some k -> Data.Produced_by (kernel_id k))
+             ~consumers:(List.map kernel_id p.d_consumers)
+             ~final:p.d_final ())
+  in
+  Application.make ~name:t.app_name ~kernels ~data ~iterations:t.iterations

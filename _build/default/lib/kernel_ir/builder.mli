@@ -1,0 +1,40 @@
+(** Name-based construction DSL for applications.
+
+    Kernels are declared in execution order; data objects reference kernels
+    by name, so workload definitions read like the paper's examples:
+
+    {[
+      let app =
+        Builder.(
+          create "E1" ~iterations:64
+          |> kernel "k1" ~contexts:24 ~cycles:400
+          |> kernel "k2" ~contexts:16 ~cycles:350
+          |> input "d1" ~size:256 ~consumers:[ "k1"; "k2" ]
+          |> result "r12" ~size:64 ~producer:"k1" ~consumers:[ "k2" ]
+          |> final "out" ~size:128 ~producer:"k2"
+          |> build)
+    ]} *)
+
+type t
+
+val create : string -> iterations:int -> t
+
+val kernel : string -> contexts:int -> cycles:int -> t -> t
+(** Appends a kernel to the execution order. *)
+
+val input :
+  ?invariant:bool -> string -> size:int -> consumers:string list -> t -> t
+(** Declares an external data object; [invariant] marks an
+    iteration-invariant constant table (see {!Data.t}). *)
+
+val result :
+  ?final:bool -> string -> size:int -> producer:string -> consumers:string list -> t -> t
+(** Declares a kernel result consumed by later kernels; [final] additionally
+    stores it to external memory. *)
+
+val final : string -> size:int -> producer:string -> t -> t
+(** Declares a final result with no on-chip consumers. *)
+
+val build : t -> Application.t
+(** Resolves names and validates.
+    @raise Invalid_argument on unknown kernel names or IR violations. *)

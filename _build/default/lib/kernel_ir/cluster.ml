@@ -1,0 +1,72 @@
+module Fb = Morphosys.Frame_buffer
+
+type t = { id : int; kernels : Kernel.id list; fb_set : Fb.set }
+type clustering = t list
+
+let set_of_index i = if i mod 2 = 0 then Fb.Set_a else Fb.Set_b
+
+let of_partition app sizes =
+  let n = Application.n_kernels app in
+  if List.exists (fun s -> s <= 0) sizes then
+    invalid_arg "Cluster.of_partition: non-positive cluster size";
+  if Msutil.Listx.sum sizes <> n then
+    invalid_arg
+      (Printf.sprintf
+         "Cluster.of_partition: sizes sum to %d but the application has %d \
+          kernels"
+         (Msutil.Listx.sum sizes) n);
+  let rec loop id start = function
+    | [] -> []
+    | size :: rest ->
+      {
+        id;
+        kernels = List.init size (fun i -> start + i);
+        fb_set = set_of_index id;
+      }
+      :: loop (id + 1) (start + size) rest
+  in
+  loop 0 0 sizes
+
+let singleton_per_kernel app =
+  of_partition app (List.init (Application.n_kernels app) (fun _ -> 1))
+
+let whole_application app = of_partition app [ Application.n_kernels app ]
+
+let validate app clustering =
+  let n = Application.n_kernels app in
+  let all = List.concat_map (fun c -> c.kernels) clustering in
+  let expected = List.init n (fun i -> i) in
+  if all <> expected then Error "clusters do not cover the kernel sequence"
+  else if
+    List.exists
+      (fun c -> c.fb_set <> set_of_index c.id)
+      clustering
+  then Error "cluster set assignment does not alternate"
+  else if
+    List.mapi (fun i c -> c.id = i) clustering |> List.exists not
+  then Error "cluster ids are not consecutive"
+  else Ok ()
+
+let cluster_of_kernel clustering kid =
+  match List.find_opt (fun c -> List.mem kid c.kernels) clustering with
+  | Some c -> c
+  | None -> raise Not_found
+
+let find clustering id =
+  match List.find_opt (fun c -> c.id = id) clustering with
+  | Some c -> c
+  | None -> raise Not_found
+
+let same_set a b = a.fb_set = b.fb_set
+let n_clusters = List.length
+let partition_sizes clustering = List.map (fun c -> List.length c.kernels) clustering
+
+let pp fmt t =
+  Format.fprintf fmt "Cl%d[%s]@%a" t.id
+    (String.concat "," (List.map string_of_int t.kernels))
+    Fb.pp_set t.fb_set
+
+let pp_clustering fmt clustering =
+  Format.fprintf fmt "@[<h>%a@]"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f " ") pp)
+    clustering

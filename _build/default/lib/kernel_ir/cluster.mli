@@ -1,0 +1,40 @@
+(** Clusters: consecutive kernel runs assigned to alternating frame-buffer
+    sets (paper §2). While one cluster computes out of its set, the DMA
+    prepares the other set for the next cluster. *)
+
+type t = {
+  id : int;  (** position in cluster execution order (0-based) *)
+  kernels : Kernel.id list;  (** consecutive, ascending *)
+  fb_set : Morphosys.Frame_buffer.set;
+}
+
+type clustering = t list
+
+val of_partition : Application.t -> int list -> clustering
+(** [of_partition app sizes] splits the kernel sequence into consecutive
+    clusters of the given sizes; cluster 0 gets set A, cluster 1 set B,
+    alternating (the hardware double-buffering discipline).
+    @raise Invalid_argument if the sizes are not positive or do not sum to
+    the kernel count. *)
+
+val singleton_per_kernel : Application.t -> clustering
+(** One cluster per kernel — the Basic Scheduler's degenerate clustering. *)
+
+val whole_application : Application.t -> clustering
+(** A single cluster holding every kernel. *)
+
+val validate : Application.t -> clustering -> (unit, string) result
+(** Checks coverage (every kernel in exactly one cluster, in order),
+    consecutive ids, and alternating set assignment. *)
+
+val cluster_of_kernel : clustering -> Kernel.id -> t
+(** @raise Not_found if the kernel is in no cluster. *)
+
+val find : clustering -> int -> t
+(** Cluster by id. @raise Not_found *)
+
+val same_set : t -> t -> bool
+val n_clusters : clustering -> int
+val partition_sizes : clustering -> int list
+val pp : Format.formatter -> t -> unit
+val pp_clustering : Format.formatter -> clustering -> unit

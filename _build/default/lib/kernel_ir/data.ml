@@ -1,0 +1,55 @@
+type producer = External | Produced_by of Kernel.id
+
+type t = {
+  id : int;
+  name : string;
+  size : int;
+  producer : producer;
+  consumers : Kernel.id list;
+  final : bool;
+  invariant : bool;
+}
+
+let make ?(invariant = false) ~id ~name ~size ~producer ~consumers ~final () =
+  if name = "" then invalid_arg "Data.make: empty name";
+  if size <= 0 then invalid_arg ("Data.make: size must be positive: " ^ name);
+  if invariant && producer <> External then
+    invalid_arg ("Data.make: only external data can be invariant: " ^ name);
+  let consumers = List.sort_uniq compare consumers in
+  (match producer with
+  | External ->
+    if consumers = [] then
+      invalid_arg ("Data.make: external data without consumers: " ^ name)
+  | Produced_by k ->
+    if consumers = [] && not final then
+      invalid_arg ("Data.make: dead result (no consumer, not final): " ^ name);
+    if List.exists (fun c -> c = k) consumers then
+      invalid_arg ("Data.make: kernel consumes its own result: " ^ name);
+    if List.exists (fun c -> c < k) consumers then
+      invalid_arg ("Data.make: consumer precedes producer: " ^ name));
+  { id; name; size; producer; consumers; final; invariant }
+
+let instance_iter t g = if t.invariant then 0 else g
+
+let is_external t = t.producer = External
+let is_result t = not (is_external t)
+
+let first_consumer t = match t.consumers with [] -> None | c :: _ -> Some c
+let last_consumer t = Msutil.Listx.last t.consumers
+let consumed_by t k = List.mem k t.consumers
+
+let producer_kernel t =
+  match t.producer with External -> None | Produced_by k -> Some k
+
+let pp fmt t =
+  let producer_str =
+    match t.producer with
+    | External -> "ext"
+    | Produced_by k -> Printf.sprintf "k%d" k
+  in
+  Format.fprintf fmt "%s(%dw,%s->%s%s%s)" t.name t.size producer_str
+    (String.concat "," (List.map string_of_int t.consumers))
+    (if t.final then ",final" else "")
+    (if t.invariant then ",invariant" else "")
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,78 @@
+let buffer_graph f =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph app {\n  rankdir=LR;\n";
+  f buf;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let kernel_node (k : Kernel.t) =
+  Printf.sprintf "  k%d [label=\"%s\\nctx=%d cyc=%d\"];\n" k.id k.name
+    k.contexts k.exec_cycles
+
+let data_edges buf (app : Application.t) =
+  List.iter
+    (fun (d : Data.t) ->
+      let attrs = Printf.sprintf "label=\"%s (%dw)\"" d.name d.size in
+      (match d.producer with
+      | Data.External ->
+        Buffer.add_string buf
+          (Printf.sprintf "  ext_%s [shape=box,label=\"%s\"];\n" d.name d.name);
+        List.iter
+          (fun c ->
+            Buffer.add_string buf
+              (Printf.sprintf "  ext_%s -> k%d [%s];\n" d.name c attrs))
+          d.consumers
+      | Data.Produced_by p ->
+        List.iter
+          (fun c ->
+            Buffer.add_string buf
+              (Printf.sprintf "  k%d -> k%d [%s];\n" p c attrs))
+          d.consumers);
+      if d.final then begin
+        Buffer.add_string buf
+          (Printf.sprintf "  out_%s [shape=doublecircle,label=\"%s\"];\n"
+             d.name d.name);
+        match d.producer with
+        | Data.Produced_by p ->
+          Buffer.add_string buf (Printf.sprintf "  k%d -> out_%s;\n" p d.name)
+        | Data.External -> ()
+      end)
+    app.data
+
+let kernel_graph (app : Application.t) =
+  buffer_graph (fun buf ->
+      Array.iter (fun k -> Buffer.add_string buf (kernel_node k)) app.kernels;
+      data_edges buf app)
+
+let clustered_graph (app : Application.t) clustering =
+  buffer_graph (fun buf ->
+      List.iter
+        (fun (c : Cluster.t) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  subgraph cluster_%d {\n    label=\"Cl%d (FB %s)\";\n"
+               c.id c.id
+               (Morphosys.Frame_buffer.set_to_string c.fb_set));
+          List.iter
+            (fun kid ->
+              Buffer.add_string buf
+                ("  " ^ kernel_node (Application.kernel app kid)))
+            c.kernels;
+          Buffer.add_string buf "  }\n")
+        clustering;
+      data_edges buf app)
+
+let loop_fission_graph (app : Application.t) ~rf =
+  if rf <= 0 then invalid_arg "Dot.loop_fission_graph: rf must be positive";
+  buffer_graph (fun buf ->
+      Array.iter
+        (fun (k : Kernel.t) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  k%d [label=\"%s x%d\"];\n" k.id k.name rf);
+          Buffer.add_string buf
+            (Printf.sprintf "  k%d -> k%d [label=\"RF=%d\"];\n" k.id k.id rf))
+        app.kernels;
+      Array.iter
+        (fun (k : Kernel.t) ->
+          if k.id + 1 < Array.length app.kernels then
+            Buffer.add_string buf (Printf.sprintf "  k%d -> k%d;\n" k.id (k.id + 1)))
+        app.kernels)

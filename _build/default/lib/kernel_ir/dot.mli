@@ -1,0 +1,15 @@
+(** Graphviz export of kernel scheduling graphs, including the loop-fission
+    view of paper Figure 3 (each kernel annotated with its consecutive
+    execution count RF). *)
+
+val kernel_graph : Application.t -> string
+(** DOT digraph of kernels and data edges. External data are boxes, kernels
+    are ellipses, final results are double circles. *)
+
+val clustered_graph : Application.t -> Cluster.clustering -> string
+(** Same graph with one subgraph cluster per scheduler cluster, labelled
+    with its FB set. *)
+
+val loop_fission_graph : Application.t -> rf:int -> string
+(** Paper Figure 3(b): the kernel sequence with each kernel self-looped
+    [rf] times before handing over to its successor. *)

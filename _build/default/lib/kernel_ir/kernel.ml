@@ -1,0 +1,17 @@
+type id = int
+
+type t = { id : id; name : string; contexts : int; exec_cycles : int }
+
+let make ~id ~name ~contexts ~exec_cycles =
+  if id < 0 then invalid_arg "Kernel.make: negative id";
+  if name = "" then invalid_arg "Kernel.make: empty name";
+  if contexts <= 0 then invalid_arg "Kernel.make: contexts must be positive";
+  if exec_cycles <= 0 then
+    invalid_arg "Kernel.make: exec_cycles must be positive";
+  { id; name; contexts; exec_cycles }
+
+let pp fmt t =
+  Format.fprintf fmt "%s#%d(ctx=%d,cyc=%d)" t.name t.id t.contexts
+    t.exec_cycles
+
+let equal (a : t) (b : t) = a = b

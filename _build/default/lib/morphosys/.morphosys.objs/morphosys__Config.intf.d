@@ -1,0 +1,1 @@
+lib/morphosys/config.mli: Format

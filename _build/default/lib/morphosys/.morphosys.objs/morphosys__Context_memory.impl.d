@@ -1,0 +1,1 @@
+lib/morphosys/context_memory.ml: Config Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/morphosys/context_memory.mli: Config

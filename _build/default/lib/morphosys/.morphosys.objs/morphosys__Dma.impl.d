@@ -1,0 +1,1 @@
+lib/morphosys/dma.ml: Config Format Frame_buffer Msutil

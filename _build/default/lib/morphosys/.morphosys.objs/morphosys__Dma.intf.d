@@ -1,0 +1,1 @@
+lib/morphosys/dma.mli: Config Format Frame_buffer

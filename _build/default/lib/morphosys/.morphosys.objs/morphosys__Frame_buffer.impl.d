@@ -1,0 +1,1 @@
+lib/morphosys/frame_buffer.ml: Array Config Format Hashtbl List Msutil

@@ -1,0 +1,1 @@
+lib/morphosys/frame_buffer.mli: Config Format Msutil

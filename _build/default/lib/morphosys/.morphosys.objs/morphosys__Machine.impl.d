@@ -1,0 +1,1 @@
+lib/morphosys/machine.ml: Config Context_memory Format Frame_buffer

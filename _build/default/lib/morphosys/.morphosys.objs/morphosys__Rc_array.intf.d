@@ -1,0 +1,1 @@
+lib/morphosys/rc_array.mli: Config

@@ -1,0 +1,27 @@
+(** Mutable model of the MorphoSys context memory (CM).
+
+    The CM holds the 32-bit context words configuring the RC array. Several
+    kernels' context sets can be resident at once; dynamic reconfiguration
+    switches among resident sets without external-memory traffic. The context
+    scheduler decides *when* sets are loaded; this module tracks residency
+    and enforces the capacity limit. *)
+
+type t
+
+val create : Config.t -> t
+val capacity : t -> int
+
+val load : t -> kernel:string -> words:int -> unit
+(** Marks the context set of [kernel] ([words] context words) resident.
+    Loading an already-resident kernel is a no-op (its contexts are reused).
+    @raise Invalid_argument if the set does not fit the remaining space or
+    [words] is not positive. *)
+
+val evict : t -> kernel:string -> unit
+(** @raise Not_found if [kernel] has no resident contexts. *)
+
+val resident : t -> kernel:string -> bool
+val used_words : t -> int
+val free_words : t -> int
+val residents : t -> (string * int) list
+(** [(kernel, words)] pairs, sorted by kernel name. *)

@@ -1,0 +1,23 @@
+type t = {
+  config : Config.t;
+  frame_buffer : Frame_buffer.t;
+  context_memory : Context_memory.t;
+}
+
+let create config =
+  {
+    config;
+    frame_buffer = Frame_buffer.create config;
+    context_memory = Context_memory.create config;
+  }
+
+let reset t = create t.config
+
+let pp_summary fmt t =
+  Format.fprintf fmt "FB A:%d/%d B:%d/%d CM:%d/%d"
+    (Frame_buffer.used_words t.frame_buffer ~set:Frame_buffer.Set_a)
+    t.config.fb_set_size
+    (Frame_buffer.used_words t.frame_buffer ~set:Frame_buffer.Set_b)
+    t.config.fb_set_size
+    (Context_memory.used_words t.context_memory)
+    t.config.cm_capacity

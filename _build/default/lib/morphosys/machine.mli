@@ -1,0 +1,16 @@
+(** Bundled mutable machine state: one frame buffer, one context memory and
+    the configuration they were built from. The simulator owns a [Machine.t]
+    and threads it through schedule replay. *)
+
+type t = {
+  config : Config.t;
+  frame_buffer : Frame_buffer.t;
+  context_memory : Context_memory.t;
+}
+
+val create : Config.t -> t
+val reset : t -> t
+(** Fresh machine with the same configuration. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line occupancy summary (FB set usage, CM usage). *)

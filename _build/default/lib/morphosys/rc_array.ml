@@ -1,0 +1,15 @@
+let cycles_of_ops config ?(efficiency = 0.8) ~ops () =
+  if ops < 0 then invalid_arg "Rc_array.cycles_of_ops: negative ops";
+  if efficiency <= 0. || efficiency > 1. then
+    invalid_arg "Rc_array.cycles_of_ops: efficiency must be in (0,1]";
+  let cells = float_of_int (Config.rc_count config) in
+  let cycles = float_of_int ops /. (cells *. efficiency) in
+  max 1 (int_of_float (ceil cycles))
+
+let broadcast_cycles (_ : Config.t) = 1
+
+let reconfigure_cycles config ~contexts =
+  if contexts < 0 then invalid_arg "Rc_array.reconfigure_cycles: negative";
+  (* Context words broadcast to a whole row or column at once. *)
+  let rows = config.Config.array_rows in
+  (contexts + rows - 1) / rows * broadcast_cycles config

@@ -1,0 +1,1 @@
+lib/rcsim/array_sim.ml: Array Cell Context List Morphosys

@@ -1,0 +1,1 @@
+lib/rcsim/array_sim.mli: Context Morphosys

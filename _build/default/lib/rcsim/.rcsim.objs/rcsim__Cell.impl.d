@@ -1,0 +1,1 @@
+lib/rcsim/cell.ml: Array Context

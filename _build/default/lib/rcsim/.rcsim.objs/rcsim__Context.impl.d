@@ -1,0 +1,1 @@
+lib/rcsim/context.ml: Format Int32 Printf

@@ -1,0 +1,1 @@
+lib/rcsim/context.mli: Format

@@ -1,0 +1,1 @@
+lib/rcsim/kernel_library.ml: Array Array_sim Kernel_ir Kernels List Morphosys Tile_pipeline

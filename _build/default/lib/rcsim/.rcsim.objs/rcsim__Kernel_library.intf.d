@@ -1,0 +1,1 @@
+lib/rcsim/kernel_library.mli: Kernel_ir Morphosys

@@ -1,0 +1,1 @@
+lib/rcsim/kernels.ml: Array Array_sim Context Float List Printf

@@ -1,0 +1,1 @@
+lib/rcsim/kernels.mli: Array_sim

@@ -1,0 +1,1 @@
+lib/rcsim/motion.ml: Array Array_sim Kernels List Option

@@ -1,0 +1,1 @@
+lib/rcsim/motion.mli: Array_sim

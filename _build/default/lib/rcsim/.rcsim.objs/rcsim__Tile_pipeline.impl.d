@@ -1,0 +1,1 @@
+lib/rcsim/tile_pipeline.ml: Array Array_sim Kernels List

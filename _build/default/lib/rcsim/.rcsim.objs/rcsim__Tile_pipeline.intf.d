@@ -1,0 +1,1 @@
+lib/rcsim/tile_pipeline.mli: Array_sim

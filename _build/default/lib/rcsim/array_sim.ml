@@ -1,0 +1,97 @@
+type selector = All | Row of int | Col of int
+
+type step = { context : Context.t; selector : selector; fb_in : int array option }
+
+type program = step list
+
+type t = { grid : Cell.t array array; n_rows : int; n_cols : int }
+
+let create (config : Morphosys.Config.t) =
+  {
+    grid =
+      Array.init config.array_rows (fun _ ->
+          Array.init config.array_cols (fun _ -> Cell.create ()));
+    n_rows = config.array_rows;
+    n_cols = config.array_cols;
+  }
+
+let rows t = t.n_rows
+let cols t = t.n_cols
+
+let reset t =
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun (c : Cell.t) ->
+          Array.fill c.Cell.regs 0 (Array.length c.Cell.regs) 0;
+          c.Cell.output <- 0)
+        row)
+    t.grid
+
+let reg t ~row ~col r = t.grid.(row).(col).Cell.regs.(r)
+let output t ~row ~col = t.grid.(row).(col).Cell.output
+
+let selected t selector ~row ~col =
+  match selector with
+  | All -> true
+  | Row r ->
+    if r < 0 || r >= t.n_rows then invalid_arg "Array_sim: bad row selector"
+    else row = r
+  | Col c ->
+    if c < 0 || c >= t.n_cols then invalid_arg "Array_sim: bad column selector"
+    else col = c
+
+let step t { context; selector; fb_in } =
+  (match fb_in with
+  | Some values when Array.length values <> t.n_cols ->
+    invalid_arg "Array_sim.step: fb_in must have one value per column"
+  | _ -> ());
+  if context.Context.fb_write && selector = All then
+    invalid_arg "Array_sim.step: fb_write needs a Row or Col selection";
+  (* snapshot outputs so neighbour reads are synchronous *)
+  let old_output row col =
+    if row < 0 || row >= t.n_rows || col < 0 || col >= t.n_cols then 0
+    else t.grid.(row).(col).Cell.output
+  in
+  let snapshot =
+    Array.init t.n_rows (fun r -> Array.init t.n_cols (fun c -> old_output r c))
+  in
+  let read_old row col =
+    if row < 0 || row >= t.n_rows || col < 0 || col >= t.n_cols then 0
+    else snapshot.(row).(col)
+  in
+  let written = ref [] in
+  for row = 0 to t.n_rows - 1 do
+    for col = 0 to t.n_cols - 1 do
+      if selected t selector ~row ~col then begin
+        let neighbourhood =
+          {
+            Cell.north = read_old (row - 1) col;
+            south = read_old (row + 1) col;
+            east = read_old row (col + 1);
+            west = read_old row (col - 1);
+            fb = (match fb_in with Some v -> v.(col) | None -> 0);
+          }
+        in
+        let result = Cell.execute t.grid.(row).(col) context neighbourhood in
+        if context.Context.fb_write then
+          written := ((row, col), result) :: !written
+      end
+    done
+  done;
+  if not context.Context.fb_write then None
+  else
+    match selector with
+    | Row _ ->
+      let out = Array.make t.n_cols 0 in
+      List.iter (fun ((_, col), v) -> out.(col) <- v) !written;
+      Some out
+    | Col _ ->
+      let out = Array.make t.n_rows 0 in
+      List.iter (fun ((row, _), v) -> out.(row) <- v) !written;
+      Some out
+    | All -> assert false
+
+let run t program = List.filter_map (step t) program
+
+let cycles program = List.length program

@@ -1,0 +1,45 @@
+(** Functional simulator of the 8x8 RC array.
+
+    Each program step broadcasts one context word to a selection of cells —
+    the whole array, one row, or one column (M1's row/column context
+    broadcast). Selected cells execute the context synchronously: neighbour
+    operands are read from the pre-step outputs. A step may carry
+    frame-buffer data on the column buses ([fb_in], one value per column —
+    every selected cell reading [Fb_port] sees its column's value) and may
+    drive results back ([fb_write] in the context): a [Row] selection emits
+    one value per column, a [Col] selection one value per row. *)
+
+type selector = All | Row of int | Col of int
+
+type step = {
+  context : Context.t;
+  selector : selector;
+  fb_in : int array option;  (** length = array columns *)
+}
+
+type program = step list
+
+type t
+
+val create : Morphosys.Config.t -> t
+val rows : t -> int
+val cols : t -> int
+
+val reset : t -> unit
+val reg : t -> row:int -> col:int -> int -> int
+(** Inspect a cell register. *)
+
+val output : t -> row:int -> col:int -> int
+(** Inspect a cell's output register. *)
+
+val step : t -> step -> int array option
+(** Execute one step; returns the emitted FB values when the context has
+    [fb_write] set.
+    @raise Invalid_argument on a bad selector, a wrong-length [fb_in], or
+    [fb_write] with the [All] selector (one bus per column). *)
+
+val run : t -> program -> int array list
+(** Run a whole program, collecting emitted FB rows in order. *)
+
+val cycles : program -> int
+(** RC-array cycles the program takes (one per step). *)

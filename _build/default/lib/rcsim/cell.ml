@@ -1,0 +1,45 @@
+type t = { regs : int array; mutable output : int }
+
+type neighbourhood = {
+  north : int;
+  south : int;
+  east : int;
+  west : int;
+  fb : int;
+}
+
+let create () = { regs = Array.make 4 0; output = 0 }
+let copy t = { regs = Array.copy t.regs; output = t.output }
+
+let alu op ~acc a b =
+  match op with
+  | Context.Add -> a + b
+  | Context.Sub -> a - b
+  | Context.Mul -> a * b
+  | Context.Mac -> acc + (a * b)
+  | Context.Band -> a land b
+  | Context.Bor -> a lor b
+  | Context.Bxor -> a lxor b
+  | Context.Shl -> a lsl (b land 31)
+  | Context.Shr -> a asr (b land 31)
+  | Context.Min -> min a b
+  | Context.Max -> max a b
+  | Context.Abs_diff -> abs (a - b)
+  | Context.Pass_a -> a
+
+let read t (n : neighbourhood) = function
+  | Context.Reg r -> t.regs.(r)
+  | Context.Imm v -> v
+  | Context.North -> n.north
+  | Context.South -> n.south
+  | Context.East -> n.east
+  | Context.West -> n.west
+  | Context.Fb_port -> n.fb
+
+let execute t (ctx : Context.t) neighbourhood =
+  let a = read t neighbourhood ctx.Context.src_a in
+  let b = read t neighbourhood ctx.Context.src_b in
+  let result = alu ctx.Context.op ~acc:t.regs.(ctx.Context.dst) a b in
+  t.regs.(ctx.Context.dst) <- result;
+  t.output <- result;
+  result

@@ -1,0 +1,25 @@
+(** One reconfigurable cell: four general registers plus an output register
+    visible to the four neighbours. *)
+
+type t = { regs : int array; mutable output : int }
+
+type neighbourhood = {
+  north : int;
+  south : int;
+  east : int;
+  west : int;
+  fb : int;  (** the frame-buffer bus value for this cell's column/row *)
+}
+
+val create : unit -> t
+val copy : t -> t
+
+val execute : t -> Context.t -> neighbourhood -> int
+(** Applies the context: reads operands (neighbour values come from the
+    neighbourhood snapshot, so updates are synchronous across the array),
+    computes, writes the destination register and the output register, and
+    returns the result. *)
+
+val alu : Context.alu_op -> acc:int -> int -> int -> int
+(** The bare ALU function ([acc] is the destination's previous value, used
+    by [Mac]); exposed for the reference-model tests. *)

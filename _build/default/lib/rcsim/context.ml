@@ -1,0 +1,132 @@
+type src = Reg of int | Imm of int | North | South | East | West | Fb_port
+
+type alu_op =
+  | Add | Sub | Mul | Mac
+  | Band | Bor | Bxor
+  | Shl | Shr
+  | Min | Max
+  | Abs_diff
+  | Pass_a
+
+type t = {
+  op : alu_op;
+  src_a : src;
+  src_b : src;
+  dst : int;
+  fb_write : bool;
+}
+
+let check_src ~allow_imm ~what = function
+  | Reg r when r < 0 || r > 3 ->
+    invalid_arg (Printf.sprintf "Context.make: bad register %d in %s" r what)
+  | Imm v when not allow_imm ->
+    invalid_arg
+      (Printf.sprintf "Context.make: immediate %d not allowed in %s" v what)
+  | Imm v when v < -2048 || v > 2047 ->
+    invalid_arg (Printf.sprintf "Context.make: immediate %d out of range" v)
+  | _ -> ()
+
+let make ?(fb_write = false) op src_a src_b ~dst =
+  check_src ~allow_imm:false ~what:"src_a" src_a;
+  check_src ~allow_imm:true ~what:"src_b" src_b;
+  if dst < 0 || dst > 3 then
+    invalid_arg (Printf.sprintf "Context.make: bad destination register %d" dst);
+  { op; src_a; src_b; dst; fb_write }
+
+let op_code = function
+  | Add -> 0 | Sub -> 1 | Mul -> 2 | Mac -> 3
+  | Band -> 4 | Bor -> 5 | Bxor -> 6
+  | Shl -> 7 | Shr -> 8
+  | Min -> 9 | Max -> 10
+  | Abs_diff -> 11
+  | Pass_a -> 12
+
+let op_of_code = function
+  | 0 -> Some Add | 1 -> Some Sub | 2 -> Some Mul | 3 -> Some Mac
+  | 4 -> Some Band | 5 -> Some Bor | 6 -> Some Bxor
+  | 7 -> Some Shl | 8 -> Some Shr
+  | 9 -> Some Min | 10 -> Some Max
+  | 11 -> Some Abs_diff
+  | 12 -> Some Pass_a
+  | _ -> None
+
+let src_kind = function
+  | Reg _ -> 0 | North -> 1 | South -> 2 | East -> 3 | West -> 4
+  | Fb_port -> 5 | Imm _ -> 6
+
+(* Word layout (LSB first):
+   [0..3] op, [4..6] src_a kind, [7..8] src_a reg,
+   [9..11] src_b kind, [12..13] src_b reg, [14..25] src_b imm (biased),
+   [26..27] dst, [28] fb_write *)
+let encode t =
+  let a_reg = match t.src_a with Reg r -> r | _ -> 0 in
+  let b_reg = match t.src_b with Reg r -> r | _ -> 0 in
+  let b_imm = match t.src_b with Imm v -> v + 2048 | _ -> 0 in
+  let bits =
+    op_code t.op
+    lor (src_kind t.src_a lsl 4)
+    lor (a_reg lsl 7)
+    lor (src_kind t.src_b lsl 9)
+    lor (b_reg lsl 12)
+    lor (b_imm lsl 14)
+    lor (t.dst lsl 26)
+    lor ((if t.fb_write then 1 else 0) lsl 28)
+  in
+  Int32.of_int bits
+
+let decode_src ~kind ~reg ~imm ~allow_imm =
+  match kind with
+  | 0 -> if reg > 3 then Error "bad register" else Ok (Reg reg)
+  | 1 -> Ok North
+  | 2 -> Ok South
+  | 3 -> Ok East
+  | 4 -> Ok West
+  | 5 -> Ok Fb_port
+  | 6 ->
+    if allow_imm then Ok (Imm (imm - 2048)) else Error "immediate in src_a"
+  | _ -> Error "bad source kind"
+
+let decode word =
+  let bits = Int32.to_int word land 0x1FFFFFFF in
+  let op_bits = bits land 0xF in
+  match op_of_code op_bits with
+  | None -> Error (Printf.sprintf "bad opcode %d" op_bits)
+  | Some op -> (
+    let a_kind = (bits lsr 4) land 0x7 in
+    let a_reg = (bits lsr 7) land 0x3 in
+    let b_kind = (bits lsr 9) land 0x7 in
+    let b_reg = (bits lsr 12) land 0x3 in
+    let b_imm = (bits lsr 14) land 0xFFF in
+    let dst = (bits lsr 26) land 0x3 in
+    let fb_write = (bits lsr 28) land 0x1 = 1 in
+    match
+      ( decode_src ~kind:a_kind ~reg:a_reg ~imm:0 ~allow_imm:false,
+        decode_src ~kind:b_kind ~reg:b_reg ~imm:b_imm ~allow_imm:true )
+    with
+    | Ok src_a, Ok src_b -> Ok { op; src_a; src_b; dst; fb_write }
+    | Error e, _ -> Error ("src_a: " ^ e)
+    | _, Error e -> Error ("src_b: " ^ e))
+
+let pp_src fmt = function
+  | Reg r -> Format.fprintf fmt "r%d" r
+  | Imm v -> Format.fprintf fmt "#%d" v
+  | North -> Format.fprintf fmt "N"
+  | South -> Format.fprintf fmt "S"
+  | East -> Format.fprintf fmt "E"
+  | West -> Format.fprintf fmt "W"
+  | Fb_port -> Format.fprintf fmt "fb"
+
+let op_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Mac -> "mac"
+  | Band -> "and" | Bor -> "or" | Bxor -> "xor"
+  | Shl -> "shl" | Shr -> "shr"
+  | Min -> "min" | Max -> "max"
+  | Abs_diff -> "absd"
+  | Pass_a -> "pass"
+
+let pp fmt t =
+  Format.fprintf fmt "%s %a, %a -> r%d%s" (op_name t.op) pp_src t.src_a pp_src
+    t.src_b t.dst
+    (if t.fb_write then " !fb" else "")
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,121 @@
+type entry = {
+  name : string;
+  description : string;
+  context_words : int;
+  ops_per_iteration : int;
+  demo : Morphosys.Config.t -> (int array list * int array list) option;
+}
+
+let is_8x8 (config : Morphosys.Config.t) =
+  config.array_rows = 8 && config.array_cols = 8
+
+let sample_vec seed = Array.init 8 (fun i -> ((i + seed) * 37 mod 255) - 127
+)
+let sample_tile seed =
+  Array.init 8 (fun r -> Array.init 8 (fun c -> (r * 8) + c + seed))
+
+let run_demo config program reference =
+  if not (is_8x8 config) then None
+  else
+    let array = Array_sim.create config in
+    Some (Array_sim.run array program, [ reference ])
+
+let all =
+  [
+    {
+      name = "vector_add";
+      description = "element-wise sum of two 8-vectors";
+      context_words = 3;
+      ops_per_iteration = 8;
+      demo =
+        (fun config ->
+          let a = sample_vec 1 and b = sample_vec 5 in
+          run_demo config
+            (Kernels.vector_add ~a ~b)
+            (Kernels.vector_add_ref ~a ~b));
+    };
+    {
+      name = "saxpy";
+      description = "alpha * x + y over 8-vectors";
+      context_words = 4;
+      ops_per_iteration = 16;
+      demo =
+        (fun config ->
+          let x = sample_vec 2 and y = sample_vec 9 in
+          run_demo config
+            (Kernels.saxpy ~alpha:3 ~x ~y)
+            (Kernels.saxpy_ref ~alpha:3 ~x ~y));
+    };
+    {
+      name = "fir4";
+      description = "4-tap FIR filter over an 11-sample window";
+      context_words = 5;
+      ops_per_iteration = 64;
+      demo =
+        (fun config ->
+          let taps = [ 1; -2; 3; 1 ] in
+          let xs = Array.init 11 (fun i -> (i * 13 mod 29) - 14) in
+          run_demo config (Kernels.fir ~taps ~xs) (Kernels.fir_ref ~taps ~xs));
+    };
+    {
+      name = "sad8x8";
+      description = "sum of absolute differences of two 8x8 tiles (per row)";
+      context_words = 24;
+      ops_per_iteration = 128;
+      demo =
+        (fun config ->
+          let a = sample_tile 0 and b = sample_tile 3 in
+          run_demo config (Kernels.sad_rows ~a ~b)
+            (Kernels.sad_rows_ref ~a ~b));
+    };
+    {
+      name = "dct8x8_2d";
+      description = "8x8 2-D DCT-II (two 1-D passes through the FB)";
+      context_words = 144;
+      ops_per_iteration = 1024;
+      demo =
+        (fun config ->
+          if not (is_8x8 config) then None
+          else
+            let array = Array_sim.create config in
+            let tile = sample_tile 7 in
+            let got = Tile_pipeline.dct2d array tile in
+            let expected = Tile_pipeline.dct2d_ref tile in
+            Some
+              (Array.to_list got, Array.to_list expected));
+    };
+    {
+      name = "quant8x8";
+      description = "8x8 quantisation (reciprocal multiply and shift)";
+      context_words = 26;
+      ops_per_iteration = 128;
+      demo =
+        (fun config ->
+          if not (is_8x8 config) then None
+          else
+            let array = Array_sim.create config in
+            let tile = sample_tile 11 in
+            let q = Tile_pipeline.flat_quant 6 in
+            let got = Tile_pipeline.quantise array ~q tile in
+            let expected = Tile_pipeline.quantise_ref ~q tile in
+            Some (Array.to_list got, Array.to_list expected));
+    };
+    {
+      name = "dct8";
+      description = "8-point 1-D DCT-II (fixed point, x128)";
+      context_words = 18;
+      ops_per_iteration = 128;
+      demo =
+        (fun config ->
+          let x = sample_vec 4 in
+          run_demo config (Kernels.dct8 ~x) (Kernels.dct8_ref ~x));
+    };
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) all
+let names () = List.map (fun e -> e.name) all
+
+let to_kernel config ~id entry =
+  Kernel_ir.Kernel.make ~id ~name:entry.name ~contexts:entry.context_words
+    ~exec_cycles:
+      (Morphosys.Rc_array.cycles_of_ops config ~ops:entry.ops_per_iteration ())

@@ -1,0 +1,26 @@
+(** The kernel library of the compilation framework (paper Figure 2):
+    named, pre-mapped kernels with their context-word counts and estimated
+    per-iteration cycles, ready to drop into an application IR.
+
+    "The kernel programming is equivalent to specifying the mapping of
+    computation to the target architecture, and is done only once." *)
+
+type entry = {
+  name : string;
+  description : string;
+  context_words : int;  (** contexts the mapping needs per configuration *)
+  ops_per_iteration : int;  (** word-level operations per tile iteration *)
+  demo : Morphosys.Config.t -> (int array list * int array list) option;
+      (** run the kernel's context program on sample data with
+          {!Array_sim}, returning (array results, reference results) for
+          self-checking; [None] when the machine is not 8x8 *)
+}
+
+val all : entry list
+val find : string -> entry option
+val names : unit -> string list
+
+val to_kernel :
+  Morphosys.Config.t -> id:Kernel_ir.Kernel.id -> entry -> Kernel_ir.Kernel.t
+(** Package an entry as an IR kernel: [contexts] from the mapping,
+    [exec_cycles] estimated with {!Morphosys.Rc_array.cycles_of_ops}. *)

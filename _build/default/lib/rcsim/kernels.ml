@@ -1,0 +1,179 @@
+module A = Array_sim
+module C = Context
+
+let rows = 8
+let cols = 8
+
+let check_len name len arr =
+  if Array.length arr <> len then
+    invalid_arg
+      (Printf.sprintf "Kernels: %s must have %d elements (got %d)" name len
+         (Array.length arr))
+
+let load_row ~row ~dst values =
+  {
+    A.context = C.make C.Pass_a C.Fb_port (C.Reg 0) ~dst;
+    selector = A.Row row;
+    fb_in = Some values;
+  }
+
+let plain ?(selector = A.All) context = { A.context; selector; fb_in = None }
+
+(* Serial eastward reduction of register [r] across all rows: after the
+   sweep, column 0 holds each row's total. *)
+let reduce_east ~r =
+  List.init (cols - 1) (fun i ->
+      let col = cols - 2 - i in
+      plain ~selector:(A.Col col) (C.make C.Add (C.Reg r) C.East ~dst:r))
+
+let emit_col0 ~r =
+  plain ~selector:(A.Col 0) (C.make ~fb_write:true C.Pass_a (C.Reg r) (C.Reg 0) ~dst:r)
+
+let emit_row0 ~r =
+  plain ~selector:(A.Row 0) (C.make ~fb_write:true C.Pass_a (C.Reg r) (C.Reg 0) ~dst:r)
+
+(* -- vector add --------------------------------------------------------- *)
+
+let vector_add ~a ~b =
+  check_len "a" cols a;
+  check_len "b" cols b;
+  [
+    load_row ~row:0 ~dst:0 a;
+    load_row ~row:0 ~dst:1 b;
+    plain ~selector:(A.Row 0)
+      (C.make ~fb_write:true C.Add (C.Reg 0) (C.Reg 1) ~dst:2);
+  ]
+
+let vector_add_ref ~a ~b = Array.map2 ( + ) a b
+
+(* -- saxpy -------------------------------------------------------------- *)
+
+let saxpy ~alpha ~x ~y =
+  check_len "x" cols x;
+  check_len "y" cols y;
+  [
+    load_row ~row:0 ~dst:0 x;
+    plain ~selector:(A.Row 0) (C.make C.Mul (C.Reg 0) (C.Imm alpha) ~dst:2);
+    load_row ~row:0 ~dst:1 y;
+    plain ~selector:(A.Row 0)
+      (C.make ~fb_write:true C.Add (C.Reg 2) (C.Reg 1) ~dst:3);
+  ]
+
+let saxpy_ref ~alpha ~x ~y = Array.map2 (fun xi yi -> (alpha * xi) + yi) x y
+
+(* -- FIR ------------------------------------------------------------------ *)
+
+let fir ~taps ~xs =
+  if taps = [] then invalid_arg "Kernels.fir: empty taps";
+  check_len "xs" (cols + List.length taps - 1) xs;
+  let window j = Array.sub xs j cols in
+  let tap_steps =
+    List.mapi
+      (fun j tap ->
+        let op = if j = 0 then C.Mul else C.Mac in
+        {
+          A.context = C.make op C.Fb_port (C.Imm tap) ~dst:1;
+          selector = A.Row 0;
+          fb_in = Some (window j);
+        })
+      taps
+  in
+  tap_steps @ [ emit_row0 ~r:1 ]
+
+let fir_ref ~taps ~xs =
+  Array.init cols (fun i ->
+      List.fold_left ( + ) 0 (List.mapi (fun j t -> t * xs.(i + j)) taps))
+
+(* -- SAD -------------------------------------------------------------------- *)
+
+let sad_rows ~a ~b =
+  check_len "a" rows a;
+  check_len "b" rows b;
+  Array.iter (check_len "a row" cols) a;
+  Array.iter (check_len "b row" cols) b;
+  let loads_a = List.init rows (fun r -> load_row ~row:r ~dst:0 a.(r)) in
+  let diffs =
+    List.init rows (fun r ->
+        {
+          A.context = C.make C.Abs_diff (C.Reg 0) C.Fb_port ~dst:2;
+          selector = A.Row r;
+          fb_in = Some b.(r);
+        })
+  in
+  loads_a @ diffs @ reduce_east ~r:2 @ [ emit_col0 ~r:2 ]
+
+let sad_rows_ref ~a ~b =
+  Array.init rows (fun r ->
+      let total = ref 0 in
+      for c = 0 to cols - 1 do
+        total := !total + abs (a.(r).(c) - b.(r).(c))
+      done;
+      !total)
+
+(* -- 8-point DCT-II ---------------------------------------------------------- *)
+
+let dct_matrix =
+  Array.init 8 (fun k ->
+      Array.init 8 (fun n ->
+          let ck = if k = 0 then 1. /. sqrt 2. else 1. in
+          let v =
+            0.5 *. ck
+            *. cos (((2. *. float_of_int n) +. 1.) *. float_of_int k *. Float.pi /. 16.)
+          in
+          int_of_float (Float.round (128. *. v))))
+
+let matvec8 ~matrix ~x =
+  check_len "x" cols x;
+  check_len "matrix" rows matrix;
+  Array.iter (check_len "matrix row" cols) matrix;
+  let load_matrix =
+    List.init rows (fun r -> load_row ~row:r ~dst:0 matrix.(r))
+  in
+  let broadcast_x =
+    { A.context = C.make C.Pass_a C.Fb_port (C.Reg 0) ~dst:1;
+      selector = A.All;
+      fb_in = Some x }
+  in
+  let multiply = plain (C.make C.Mul (C.Reg 0) (C.Reg 1) ~dst:2) in
+  load_matrix @ [ broadcast_x; multiply ] @ reduce_east ~r:2 @ [ emit_col0 ~r:2 ]
+
+let matvec8_ref ~matrix ~x =
+  Array.init rows (fun k ->
+      let total = ref 0 in
+      for n = 0 to cols - 1 do
+        total := !total + (matrix.(k).(n) * x.(n))
+      done;
+      !total)
+
+let dct8 ~x = matvec8 ~matrix:dct_matrix ~x
+
+let dct8_ref ~x = matvec8_ref ~matrix:dct_matrix ~x
+
+(* element-wise multiply-and-shift over a whole 8x8 tile: the quantisation
+   and dequantisation kernels (per-cell factors preloaded from the FB) *)
+let scale_tile ~factors ~shift ~x =
+  check_len "factors" rows factors;
+  check_len "x" rows x;
+  Array.iter (check_len "factors row" cols) factors;
+  Array.iter (check_len "x row" cols) x;
+  if shift < 0 || shift > 31 then invalid_arg "Kernels.scale_tile: bad shift";
+  let load_factors =
+    List.init rows (fun r -> load_row ~row:r ~dst:0 factors.(r))
+  in
+  let load_x = List.init rows (fun r ->
+      { A.context = C.make C.Pass_a C.Fb_port (C.Reg 0) ~dst:1;
+        selector = A.Row r;
+        fb_in = Some x.(r) })
+  in
+  let multiply = plain (C.make C.Mul (C.Reg 0) (C.Reg 1) ~dst:2) in
+  let shift_step = plain (C.make C.Shr (C.Reg 2) (C.Imm shift) ~dst:2) in
+  let emits =
+    List.init rows (fun r ->
+        plain ~selector:(A.Row r)
+          (C.make ~fb_write:true C.Pass_a (C.Reg 2) (C.Reg 0) ~dst:3))
+  in
+  load_factors @ load_x @ [ multiply; shift_step ] @ emits
+
+let scale_tile_ref ~factors ~shift ~x =
+  Array.init rows (fun r ->
+      Array.init cols (fun c -> (factors.(r).(c) * x.(r).(c)) asr shift))

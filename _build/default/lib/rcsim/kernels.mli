@@ -1,0 +1,59 @@
+(** Context programs for real DSP kernels, each paired with a plain-OCaml
+    reference implementation the array results are tested against.
+
+    Programs embed their input tiles as frame-buffer bus traffic ([fb_in]
+    per step), the way the M1 code generator couples context and data
+    streams. All arithmetic is integer (fixed point where needed). *)
+
+val vector_add : a:int array -> b:int array -> Array_sim.program
+(** Element-wise sum on row 0; emits one FB row. Arrays of length = array
+    columns. *)
+
+val vector_add_ref : a:int array -> b:int array -> int array
+
+val saxpy : alpha:int -> x:int array -> y:int array -> Array_sim.program
+(** [alpha * x + y] on row 0. [alpha] must fit the 12-bit immediate. *)
+
+val saxpy_ref : alpha:int -> x:int array -> y:int array -> int array
+
+val fir : taps:int list -> xs:int array -> Array_sim.program
+(** FIR filter: output [i] = sum_j taps[j] * xs[i+j], computed with one MAC
+    context per tap on row 0. [xs] must have [cols + length taps - 1]
+    samples; taps must fit the immediate field. *)
+
+val fir_ref : taps:int list -> xs:int array -> int array
+
+val sad_rows : a:int array array -> b:int array array -> Array_sim.program
+(** Sum of absolute differences of two 8x8 tiles, reduced along each row
+    with the east-neighbour chain; emits the 8 per-row SADs (motion
+    estimation's inner loop). *)
+
+val sad_rows_ref : a:int array array -> b:int array array -> int array
+
+val matvec8 :
+  matrix:int array array -> x:int array -> Array_sim.program
+(** Generic 8x8 matrix-vector product: the matrix is preloaded cell by
+    cell, the vector broadcast on the column buses, per-row dot products
+    reduced eastward; emits the 8 results. *)
+
+val matvec8_ref : matrix:int array array -> x:int array -> int array
+
+val scale_tile :
+  factors:int array array -> shift:int -> x:int array array ->
+  Array_sim.program
+(** Element-wise [factors * x >> shift] over a whole 8x8 tile — the
+    quantisation / dequantisation kernel; emits one FB row per tile row. *)
+
+val scale_tile_ref :
+  factors:int array array -> shift:int -> x:int array array ->
+  int array array
+
+val dct8 : x:int array -> Array_sim.program
+(** 8-point 1-D DCT-II as a matrix-vector product against {!dct_matrix}:
+    the coefficient matrix is preloaded row by row, the sample vector is
+    broadcast on the column buses, and the per-row dot products are reduced
+    eastward. Fixed point: coefficients scaled by 128. *)
+
+val dct8_ref : x:int array -> int array
+val dct_matrix : int array array
+(** round(128 * c(k) * cos((2n+1) k pi / 16)), the scaled DCT-II basis. *)

@@ -1,0 +1,71 @@
+type vector = { dx : int; dy : int; sad : int }
+
+let block_size = 8
+
+let window frame ~row ~col =
+  if
+    row < 0 || col < 0
+    || row + block_size > Array.length frame
+    || col + block_size > Array.length frame.(0)
+  then invalid_arg "Motion.window: out of bounds";
+  Array.init block_size (fun r -> Array.sub frame.(row + r) col block_size)
+
+let candidates frame ~origin:(row, col) ~range =
+  List.concat
+    (List.init
+       ((2 * range) + 1)
+       (fun i ->
+         let dy = i - range in
+         List.filter_map
+           (fun j ->
+             let dx = j - range in
+             let r = row + dy and c = col + dx in
+             if
+               r < 0 || c < 0
+               || r + block_size > Array.length frame
+               || c + block_size > Array.length frame.(0)
+             then None
+             else Some (dx, dy))
+           (List.init ((2 * range) + 1) (fun j -> j))))
+
+let better (a : vector) (b : vector) =
+  let mag v = (v.dx * v.dx) + (v.dy * v.dy) in
+  if a.sad <> b.sad then a.sad < b.sad
+  else if mag a <> mag b then mag a < mag b
+  else (a.dy, a.dx) < (b.dy, b.dx)
+
+let check_block block =
+  if
+    Array.length block <> block_size
+    || Array.exists (fun r -> Array.length r <> block_size) block
+  then invalid_arg "Motion: block must be 8x8"
+
+let run_search ~sad_of ~reference ~block ~origin ~range =
+  check_block block;
+  let cands = candidates reference ~origin ~range in
+  if cands = [] then invalid_arg "Motion: no candidate window fits the frame";
+  let row, col = origin in
+  List.fold_left
+    (fun best (dx, dy) ->
+      let cand_window = window reference ~row:(row + dy) ~col:(col + dx) in
+      let v = { dx; dy; sad = sad_of ~a:block ~b:cand_window } in
+      match best with
+      | None -> Some v
+      | Some b -> if better v b then Some v else Some b)
+    None cands
+  |> Option.get
+
+let total_sad_array array ~a ~b =
+  Array_sim.reset array;
+  match Array_sim.run array (Kernels.sad_rows ~a ~b) with
+  | [ rows ] -> Array.fold_left ( + ) 0 rows
+  | _ -> failwith "Motion: unexpected SAD output shape"
+
+let total_sad_ref ~a ~b =
+  Array.fold_left ( + ) 0 (Kernels.sad_rows_ref ~a ~b)
+
+let search array ~reference ~block ~origin ~range =
+  run_search ~sad_of:(total_sad_array array) ~reference ~block ~origin ~range
+
+let search_ref ~reference ~block ~origin ~range =
+  run_search ~sad_of:total_sad_ref ~reference ~block ~origin ~range

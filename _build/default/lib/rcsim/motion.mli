@@ -1,0 +1,34 @@
+(** Block motion estimation on the RC array: exhaustive search of the
+    displacement (within a search range) minimising the sum of absolute
+    differences between a current 8x8 block and the reference frame — the
+    MPEG encoder kernel the MorphoSys papers showcase. Each candidate
+    displacement runs one {!Kernels.sad_rows} pass on the array; the host
+    accumulates the row SADs and keeps the best vector. *)
+
+type vector = { dx : int; dy : int; sad : int }
+
+val search :
+  Array_sim.t ->
+  reference:int array array ->
+  block:int array array ->
+  origin:int * int ->
+  range:int ->
+  vector
+(** [search array ~reference ~block ~origin:(row, col) ~range] evaluates
+    every displacement in [[-range, range]^2] keeping the candidate window
+    inside the reference frame; ties prefer the smaller displacement
+    magnitude, then raster order (deterministic).
+    @raise Invalid_argument if the block is not 8x8 or no candidate window
+    fits the frame. *)
+
+val search_ref :
+  reference:int array array ->
+  block:int array array ->
+  origin:int * int ->
+  range:int ->
+  vector
+(** Pure reference implementation, compared against {!search} by tests. *)
+
+val window : int array array -> row:int -> col:int -> int array array
+(** The 8x8 window of a frame at (row, col).
+    @raise Invalid_argument when out of bounds. *)

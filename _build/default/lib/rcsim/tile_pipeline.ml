@@ -1,0 +1,81 @@
+type tile = int array array
+
+let n = 8
+
+let transpose (t : tile) = Array.init n (fun r -> Array.init n (fun c -> t.(c).(r)))
+
+let column (t : tile) c = Array.init n (fun r -> t.(r).(c))
+
+(* rounding shift: the host rescales between passes, so round to nearest
+   to avoid the truncation bias accumulating across the four passes *)
+let rescale shift v = (v + (1 lsl (shift - 1))) asr shift
+
+(* One 1-D pass: every column of [x] through the matrix, rescaled by the
+   fixed-point shift. Result[.][c] = matrix . column c >> 7. *)
+let pass_array array ~matrix (x : tile) =
+  let out = Array.make_matrix n n 0 in
+  for c = 0 to n - 1 do
+    Array_sim.reset array;
+    match Array_sim.run array (Kernels.matvec8 ~matrix ~x:(column x c)) with
+    | [ y ] -> for r = 0 to n - 1 do out.(r).(c) <- rescale 7 y.(r) done
+    | _ -> failwith "Tile_pipeline: unexpected matvec output shape"
+  done;
+  out
+
+let pass_ref ~matrix (x : tile) =
+  Array.init n (fun r ->
+      Array.init n (fun c ->
+          rescale 7 (Kernels.matvec8_ref ~matrix ~x:(column x c)).(r)))
+
+(* Y = C X Ct: columns first, transpose, columns again, transpose back. *)
+let two_passes pass x = transpose (pass (transpose (pass x)))
+
+let dct2d array x = two_passes (pass_array array ~matrix:Kernels.dct_matrix) x
+let dct2d_ref x = two_passes (pass_ref ~matrix:Kernels.dct_matrix) x
+
+let idct_matrix = transpose Kernels.dct_matrix
+
+let idct2d array y = two_passes (pass_array array ~matrix:idct_matrix) y
+let idct2d_ref y = two_passes (pass_ref ~matrix:idct_matrix) y
+
+(* Quantisation: x / q as (x * recip) >> 16 with recip = 65536 / q. *)
+let recip_shift = 16
+
+let reciprocals (q : tile) =
+  Array.map (Array.map (fun v ->
+      if v <= 0 then invalid_arg "Tile_pipeline: quantiser must be positive"
+      else (1 lsl recip_shift) / v))
+    q
+
+let run_scale array ~factors ~shift x =
+  Array_sim.reset array;
+  let outs = Array_sim.run array (Kernels.scale_tile ~factors ~shift ~x) in
+  match outs with
+  | rows when List.length rows = n -> Array.of_list rows
+  | _ -> failwith "Tile_pipeline: unexpected scale output shape"
+
+let quantise array ~q x =
+  run_scale array ~factors:(reciprocals q) ~shift:recip_shift x
+
+let quantise_ref ~q x =
+  Kernels.scale_tile_ref ~factors:(reciprocals q) ~shift:recip_shift ~x
+
+let dequantise array ~q x = run_scale array ~factors:q ~shift:0 x
+let dequantise_ref ~q x = Kernels.scale_tile_ref ~factors:q ~shift:0 ~x
+
+let reconstruct array ~q tile =
+  idct2d array (dequantise array ~q (quantise array ~q (dct2d array tile)))
+
+let reconstruct_ref ~q tile =
+  idct2d_ref (dequantise_ref ~q (quantise_ref ~q (dct2d_ref tile)))
+
+let flat_quant v = Array.make_matrix n n v
+
+let max_abs_error (a : tile) (b : tile) =
+  let worst = ref 0 in
+  for r = 0 to n - 1 do
+    for c = 0 to n - 1 do
+      worst := max !worst (abs (a.(r).(c) - b.(r).(c)))
+    done
+  done;
+  !worst

@@ -1,0 +1,40 @@
+(** Host-driven 8x8 transform-coding pipeline on the RC array — the MPEG
+    kernels computing real data.
+
+    The 2-D DCT is two 1-D passes ([Y = C X Ct]): each pass runs eight
+    {!Kernels.matvec8} column transforms on the array and rescales by the
+    fixed-point factor (coefficients are scaled by 128, so each pass shifts
+    right by 7); the transpose between passes goes through the frame buffer
+    (host-side here). Quantisation and dequantisation run
+    {!Kernels.scale_tile} with reciprocal tables. Every step also has a
+    pure-integer reference model; [reconstruct] closes the loop and a test
+    bounds the reconstruction error. *)
+
+type tile = int array array
+
+val dct2d : Array_sim.t -> tile -> tile
+(** Forward 2-D DCT of an 8x8 tile (array-computed). *)
+
+val idct2d : Array_sim.t -> tile -> tile
+(** Inverse 2-D DCT (the transposed basis). *)
+
+val quantise : Array_sim.t -> q:tile -> tile -> tile
+(** [x / q] element-wise via reciprocal multiply and shift. *)
+
+val dequantise : Array_sim.t -> q:tile -> tile -> tile
+(** [x * q] element-wise. *)
+
+val reconstruct : Array_sim.t -> q:tile -> tile -> tile
+(** [idct2d (dequantise (quantise (dct2d tile)))] — the decoder loop. *)
+
+val dct2d_ref : tile -> tile
+val idct2d_ref : tile -> tile
+val quantise_ref : q:tile -> tile -> tile
+val dequantise_ref : q:tile -> tile -> tile
+val reconstruct_ref : q:tile -> tile -> tile
+
+val flat_quant : int -> tile
+(** A uniform quantisation matrix. *)
+
+val max_abs_error : tile -> tile -> int
+val transpose : tile -> tile

@@ -1,0 +1,1 @@
+lib/report/dse.ml: Buffer Cds Format List Morphosys Msim Msutil Option Printf Result Sched

@@ -1,0 +1,1 @@
+lib/report/dse.mli: Kernel_ir

@@ -1,0 +1,1 @@
+lib/report/figure_report.ml: Cds Codegen Fb_alloc Format Kernel_ir List Morphosys Msim Msutil Printf Sched Workloads

@@ -1,0 +1,1 @@
+lib/report/figure_report.mli:

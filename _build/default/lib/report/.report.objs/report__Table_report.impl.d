@@ -1,0 +1,1 @@
+lib/report/table_report.ml: Buffer Cds Format Kernel_ir List Morphosys Msutil Option Printf Result Sched Workloads

@@ -1,0 +1,134 @@
+type point = {
+  fb_set_size : int;
+  cm_capacity : int;
+  dma_setup_cycles : int;
+  scheduler : string;
+  feasible : bool;
+  rf : int option;
+  total_cycles : int option;
+  data_words : int option;
+  context_words : int option;
+}
+
+let point_of_schedule config ~fb ~cm ~setup ~scheduler = function
+  | Error (_ : string) ->
+    {
+      fb_set_size = fb;
+      cm_capacity = cm;
+      dma_setup_cycles = setup;
+      scheduler;
+      feasible = false;
+      rf = None;
+      total_cycles = None;
+      data_words = None;
+      context_words = None;
+    }
+  | Ok (s : Sched.Schedule.t) ->
+    let m = Msim.Executor.run config s in
+    {
+      fb_set_size = fb;
+      cm_capacity = cm;
+      dma_setup_cycles = setup;
+      scheduler;
+      feasible = true;
+      rf = Some s.Sched.Schedule.rf;
+      total_cycles = Some m.Msim.Metrics.total_cycles;
+      data_words = Some (Msim.Metrics.data_words m);
+      context_words = Some m.Msim.Metrics.context_words_loaded;
+    }
+
+let sweep ?(cm_list = [ 2048 ]) ?(setup_list = [ 0 ]) ~fb_list app clustering =
+  List.concat_map
+    (fun fb ->
+      List.concat_map
+        (fun cm ->
+          List.concat_map
+            (fun setup ->
+              let config =
+                Morphosys.Config.make ~fb_set_size:fb ~cm_capacity:cm
+                  ~dma_setup_cycles:setup ()
+              in
+              let mk = point_of_schedule config ~fb ~cm ~setup in
+              [
+                mk ~scheduler:"basic"
+                  (Sched.Basic_scheduler.schedule config app clustering);
+                mk ~scheduler:"ds"
+                  (Sched.Data_scheduler.schedule config app clustering);
+                mk ~scheduler:"cds"
+                  (Result.map
+                     (fun r -> r.Cds.Complete_data_scheduler.schedule)
+                     (Cds.Complete_data_scheduler.schedule config app
+                        clustering));
+              ])
+            setup_list)
+        cm_list)
+    fb_list
+
+let opt_str f = function Some v -> f v | None -> ""
+
+let to_csv points =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "fb_words,cm_words,dma_setup,scheduler,feasible,rf,cycles,data_words,context_words\n";
+  List.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d,%d,%s,%b,%s,%s,%s,%s\n" p.fb_set_size
+           p.cm_capacity p.dma_setup_cycles p.scheduler p.feasible
+           (opt_str string_of_int p.rf)
+           (opt_str string_of_int p.total_cycles)
+           (opt_str string_of_int p.data_words)
+           (opt_str string_of_int p.context_words)))
+    points;
+  Buffer.contents buf
+
+let best points =
+  List.fold_left
+    (fun acc p ->
+      match (p.feasible, p.total_cycles, acc) with
+      | false, _, _ | _, None, _ -> acc
+      | true, Some _, None -> Some p
+      | true, Some c, Some b ->
+        let bc = Option.get b.total_cycles in
+        if c < bc || (c = bc && p.fb_set_size < b.fb_set_size) then Some p
+        else acc)
+    None points
+
+let pareto points =
+  let feasible =
+    List.filter (fun p -> p.feasible && p.total_cycles <> None) points
+  in
+  let dominated p =
+    List.exists
+      (fun q ->
+        q != p && q.feasible
+        && q.fb_set_size <= p.fb_set_size
+        && Option.get q.total_cycles <= Option.get p.total_cycles
+        && (q.fb_set_size < p.fb_set_size
+           || Option.get q.total_cycles < Option.get p.total_cycles))
+      feasible
+  in
+  List.filter (fun p -> not (dominated p)) feasible
+  |> List.sort (fun a b -> compare a.fb_set_size b.fb_set_size)
+
+let print_table points =
+  let header =
+    [ "FB"; "CM"; "setup"; "sched"; "RF"; "cycles"; "data w"; "ctx w" ]
+  in
+  let rows =
+    List.map
+      (fun p ->
+        [
+          Msutil.Pretty.kbytes p.fb_set_size;
+          Msutil.Pretty.kbytes p.cm_capacity;
+          string_of_int p.dma_setup_cycles;
+          p.scheduler;
+          (if p.feasible then opt_str string_of_int p.rf else "-");
+          (if p.feasible then opt_str string_of_int p.total_cycles
+           else "infeasible");
+          opt_str string_of_int p.data_words;
+          opt_str string_of_int p.context_words;
+        ])
+      points
+  in
+  Msutil.Pretty.table ~header ~rows Format.std_formatter

@@ -1,0 +1,38 @@
+(** Design-space exploration over the machine parameters: sweep the
+    frame-buffer set size (and optionally the CM capacity and DMA setup
+    cost) for one application, recording feasibility, RF, traffic and
+    cycles per scheduler — the study an architect runs to size the on-chip
+    memories for a workload. *)
+
+type point = {
+  fb_set_size : int;
+  cm_capacity : int;
+  dma_setup_cycles : int;
+  scheduler : string;  (** "basic" | "ds" | "cds" *)
+  feasible : bool;
+  rf : int option;
+  total_cycles : int option;
+  data_words : int option;  (** loads + stores *)
+  context_words : int option;
+}
+
+val sweep :
+  ?cm_list:int list ->
+  ?setup_list:int list ->
+  fb_list:int list ->
+  Kernel_ir.Application.t ->
+  Kernel_ir.Cluster.clustering ->
+  point list
+(** Full cross product, three schedulers per configuration, in order. *)
+
+val to_csv : point list -> string
+
+val best : point list -> point option
+(** The feasible point with the fewest cycles (ties: smaller frame
+    buffer — cheaper silicon). *)
+
+val pareto : point list -> point list
+(** Feasible points not dominated in (fb_set_size, total_cycles): the
+    memory-size / performance trade-off frontier, ascending by size. *)
+
+val print_table : point list -> unit

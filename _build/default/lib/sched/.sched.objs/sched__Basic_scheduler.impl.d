@@ -1,0 +1,1 @@
+lib/sched/basic_scheduler.ml: Context_scheduler Ds_formula Kernel_ir List Morphosys Printf Step_builder Xfer_gen

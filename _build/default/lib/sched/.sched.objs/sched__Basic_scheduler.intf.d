@@ -1,0 +1,1 @@
+lib/sched/basic_scheduler.mli: Kernel_ir Morphosys Schedule

@@ -1,0 +1,1 @@
+lib/sched/context_scheduler.ml: Format Kernel_ir List Morphosys Msutil Printf String

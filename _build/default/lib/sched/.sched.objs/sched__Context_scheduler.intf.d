@@ -1,0 +1,1 @@
+lib/sched/context_scheduler.mli: Format Kernel_ir Morphosys

@@ -1,0 +1,1 @@
+lib/sched/data_scheduler.ml: Context_scheduler Ds_formula Kernel_ir List Logs Morphosys Msutil Printf Reuse_factor Schedule Schedule_cost Step_builder Xfer_gen

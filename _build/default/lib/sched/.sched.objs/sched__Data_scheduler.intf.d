@@ -1,0 +1,1 @@
+lib/sched/data_scheduler.mli: Kernel_ir Morphosys Schedule

@@ -1,0 +1,1 @@
+lib/sched/ds_formula.ml: Kernel_ir List Msutil

@@ -1,0 +1,1 @@
+lib/sched/ds_formula.mli: Kernel_ir

@@ -1,0 +1,1 @@
+lib/sched/kernel_scheduler.ml: Kernel_ir List Msutil Option

@@ -1,0 +1,1 @@
+lib/sched/kernel_scheduler.mli: Kernel_ir

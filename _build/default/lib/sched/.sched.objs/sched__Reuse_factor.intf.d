@@ -1,0 +1,1 @@
+lib/sched/reuse_factor.mli:

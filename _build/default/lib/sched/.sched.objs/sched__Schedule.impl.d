@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Format Kernel_ir List Morphosys Msutil Printf String

@@ -1,0 +1,1 @@
+lib/sched/schedule.mli: Format Kernel_ir Morphosys

@@ -1,0 +1,1 @@
+lib/sched/schedule_cost.ml: Morphosys Msutil Schedule

@@ -1,0 +1,1 @@
+lib/sched/step_builder.ml: Array Context_scheduler Kernel_ir List Morphosys Msutil Printf Schedule

@@ -1,0 +1,1 @@
+lib/sched/step_builder.mli: Context_scheduler Kernel_ir Morphosys Schedule

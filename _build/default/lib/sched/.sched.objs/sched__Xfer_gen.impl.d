@@ -1,0 +1,1 @@
+lib/sched/xfer_gen.ml: Kernel_ir List Morphosys Schedule Step_builder

@@ -1,0 +1,1 @@
+lib/sched/xfer_gen.mli: Kernel_ir Morphosys Step_builder

@@ -1,0 +1,24 @@
+module IE = Kernel_ir.Info_extractor
+
+let footprints app clustering =
+  IE.profiles app clustering |> List.map Ds_formula.footprint_basic
+
+let schedule config app clustering =
+  match Context_scheduler.plan config app clustering with
+  | Error e -> Error ("basic: " ^ e)
+  | Ok ctx_plan -> (
+    let fps = footprints app clustering in
+    match
+      List.find_opt (fun fp -> fp > config.Morphosys.Config.fb_set_size) fps
+    with
+    | Some fp ->
+      Error
+        (Printf.sprintf
+           "basic: cluster footprint %dw exceeds FB set of %dw (no \
+            replacement)"
+           fp config.Morphosys.Config.fb_set_size)
+    | None ->
+      Ok
+        (Step_builder.build config app clustering ~rf:1 ~ctx_plan
+           ~generators:(Xfer_gen.store_everything app clustering)
+           ~scheduler:"basic"))

@@ -1,0 +1,21 @@
+(** The Basic Scheduler — the comparison baseline from Maestre et al.,
+    DATE'99 [3]: kernel scheduling with double-buffered transfer overlap but
+    *no data reuse*. Every cluster input is loaded from external memory for
+    every iteration, every produced result — intermediates included — is
+    written back (no liveness analysis), dead data is never replaced in
+    place (so the whole cluster footprint — all inputs plus all results —
+    must fit one FB set), and the reuse factor is fixed at 1, so contexts
+    not resident in the CM are reloaded on every iteration. *)
+
+val schedule :
+  Morphosys.Config.t ->
+  Kernel_ir.Application.t ->
+  Kernel_ir.Cluster.clustering ->
+  (Schedule.t, string) result
+(** [Error] when a cluster's no-replacement footprint exceeds the FB set
+    size or its contexts exceed the CM — the paper notes Basic cannot run
+    MPEG with a 1K frame buffer. *)
+
+val footprints :
+  Kernel_ir.Application.t -> Kernel_ir.Cluster.clustering -> int list
+(** Per-cluster no-replacement footprints (one iteration). *)

@@ -1,0 +1,36 @@
+(** The context scheduler (substrate from Maestre et al., ISSS'99): decides
+    which clusters' context sets stay resident in the context memory across
+    rounds and which must be reloaded every round because the CM is too
+    small to hold everything.
+
+    Policy: clusters are pinned greedily by descending context size while
+    the pinned total still leaves room for the largest pair of consecutive
+    unpinned clusters (the running one and the prefetched one must coexist).
+    Pinned clusters transfer their contexts only on the first round. *)
+
+type plan = {
+  pinned : int list;  (** cluster ids resident for the whole run *)
+  reloaded : int list;  (** cluster ids reloaded every round *)
+  reserve : int;  (** CM words kept free for unpinned rotation *)
+}
+
+val plan :
+  Morphosys.Config.t ->
+  Kernel_ir.Application.t ->
+  Kernel_ir.Cluster.clustering ->
+  (plan, string) result
+(** [Error] when some single cluster's contexts exceed the CM capacity —
+    no schedule can run that clustering. *)
+
+val context_words :
+  Kernel_ir.Application.t -> Kernel_ir.Cluster.t -> int
+(** Context words of a cluster's kernels. *)
+
+val load_words_for_round :
+  plan -> app:Kernel_ir.Application.t ->
+  clustering:Kernel_ir.Cluster.clustering -> cluster:Kernel_ir.Cluster.t ->
+  round:int -> int
+(** Context words the DMA must move for [cluster] at the given round: its
+    full context set on round 0, afterwards only if it is not pinned. *)
+
+val pp_plan : Format.formatter -> plan -> unit

@@ -1,0 +1,136 @@
+module Cluster = Kernel_ir.Cluster
+module Application = Kernel_ir.Application
+
+type evaluation = Cluster.clustering -> int option
+
+let exhaustive_limit = 14
+
+let enumerate app =
+  let n = Application.n_kernels app in
+  if n > exhaustive_limit then
+    invalid_arg "Kernel_scheduler.enumerate: too many kernels";
+  List.map (Cluster.of_partition app) (Msutil.Listx.compositions n)
+
+let better current candidate =
+  match (current, candidate) with
+  | None, Some _ -> true
+  | Some (_, a), Some (_, b) -> b < a
+  | _, None -> false
+
+let pick app ~eval partitions =
+  List.fold_left
+    (fun best sizes ->
+      let clustering = Cluster.of_partition app sizes in
+      let candidate =
+        match eval clustering with
+        | Some cycles -> Some (clustering, cycles)
+        | None -> None
+      in
+      if better best candidate then candidate else best)
+    None partitions
+
+let greedy app ~eval =
+  let n = Application.n_kernels app in
+  let start = List.init n (fun _ -> 1) in
+  let merges sizes =
+    (* all partitions obtained by merging one adjacent pair *)
+    let rec loop before = function
+      | a :: b :: rest ->
+        (List.rev before @ ((a + b) :: rest))
+        :: loop (a :: before) (b :: rest)
+      | _ -> []
+    in
+    loop [] sizes
+  in
+  let eval_sizes sizes =
+    let clustering = Cluster.of_partition app sizes in
+    match eval clustering with
+    | Some cycles -> Some (clustering, cycles)
+    | None -> None
+  in
+  let rec climb current_sizes current =
+    let step = pick app ~eval (merges current_sizes) in
+    if better current step then
+      match step with
+      | Some (clustering, _) ->
+        climb (Cluster.partition_sizes clustering) step
+      | None -> current
+    else current
+  in
+  (* Even if the starting point is infeasible, keep merging: bigger clusters
+     change footprints and context pressure in both directions, so explore a
+     few merge levels before giving up. *)
+  let rec first_feasible sizes depth =
+    match eval_sizes sizes with
+    | Some _ as ok -> Some (sizes, ok)
+    | None when depth < n -> (
+      let candidates = merges sizes in
+      match List.find_map (fun s -> Option.map (fun r -> (s, Some r)) (eval_sizes s)) candidates with
+      | Some _ as found -> found
+      | None -> (
+        match candidates with
+        | s :: _ -> first_feasible s (depth + 1)
+        | [] -> None))
+    | None -> None
+  in
+  match first_feasible start 0 with
+  | None -> None
+  | Some (sizes, seed) -> climb sizes seed
+
+let beam ?(width = 4) app ~eval =
+  if width < 1 then invalid_arg "Kernel_scheduler.beam: width must be >= 1";
+  let n = Application.n_kernels app in
+  let complete prefix covered =
+    prefix @ List.init (n - covered) (fun _ -> 1)
+  in
+  let score prefix covered =
+    eval (Cluster.of_partition app (complete prefix covered))
+  in
+  (* states: (prefix sizes, kernels covered); extend by every next cluster
+     size, keep the [width] best-scoring prefixes *)
+  let rec search states best_complete =
+    let finished, open_states =
+      List.partition (fun (_, covered, _) -> covered = n) states
+    in
+    let best_complete =
+      List.fold_left
+        (fun acc (prefix, _, score) ->
+          match (acc, score) with
+          | None, Some s -> Some (prefix, s)
+          | Some (_, b), Some s when s < b -> Some (prefix, s)
+          | acc, _ -> acc)
+        best_complete finished
+    in
+    if open_states = [] then best_complete
+    else
+      let extended =
+        List.concat_map
+          (fun (prefix, covered, _) ->
+            List.filter_map
+              (fun size ->
+                let covered' = covered + size in
+                let prefix' = prefix @ [ size ] in
+                match score prefix' covered' with
+                | Some s -> Some (prefix', covered', Some s)
+                | None -> None)
+              (List.init (n - covered) (fun i -> i + 1)))
+          open_states
+      in
+      let surviving =
+        List.sort
+          (fun (_, _, a) (_, _, b) -> compare a b)
+          extended
+        |> Msutil.Listx.take width
+      in
+      search surviving best_complete
+  in
+  match search [ ([], 0, None) ] None with
+  | None -> None
+  | Some (sizes, cycles) ->
+    Some (Cluster.of_partition app sizes, cycles)
+
+let best app ~eval =
+  let n = Application.n_kernels app in
+  if n <= exhaustive_limit then
+    pick app ~eval (Msutil.Listx.compositions n)
+  else greedy app ~eval

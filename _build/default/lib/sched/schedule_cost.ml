@@ -1,0 +1,11 @@
+let estimate config (schedule : Schedule.t) =
+  Msutil.Listx.sum_by
+    (fun (step : Schedule.step) ->
+      let dma = Morphosys.Dma.total_cost config step.Schedule.dma in
+      let compute =
+        match step.Schedule.compute with
+        | Some c -> c.Schedule.compute_cycles
+        | None -> 0
+      in
+      max dma compute)
+    schedule.Schedule.steps

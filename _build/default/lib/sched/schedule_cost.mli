@@ -1,0 +1,10 @@
+(** Cheap execution-time estimate of a schedule — the scheduler-side twin of
+    the simulator's timing rule (each step lasts [max(compute, dma)]; a
+    pure-DMA step lasts its serial transfer cost). The Data and Complete
+    Data Schedulers use it to choose the reuse factor that actually
+    minimises time: on imbalanced clusters the largest memory-allowed RF can
+    pessimise the pipeline by batching transfers the computation can no
+    longer hide. A test asserts this estimate equals the simulator's
+    total-cycle count on every schedule. *)
+
+val estimate : Morphosys.Config.t -> Schedule.t -> int

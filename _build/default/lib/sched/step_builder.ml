@@ -1,0 +1,132 @@
+module Cluster = Kernel_ir.Cluster
+module Application = Kernel_ir.Application
+module Dma = Morphosys.Dma
+module Fb = Morphosys.Frame_buffer
+
+type generators = {
+  loads :
+    Cluster.t -> round:int -> iters:int -> base_iter:int -> Dma.t list;
+  stores :
+    Cluster.t -> round:int -> iters:int -> base_iter:int -> Dma.t list;
+}
+
+type execution = {
+  cluster : Cluster.t;
+  round : int;
+  iters : int;
+  base_iter : int;
+}
+
+let executions app clustering ~rf =
+  let n = app.Application.iterations in
+  let total_rounds = (n + rf - 1) / rf in
+  List.concat_map
+    (fun round ->
+      let base_iter = round * rf in
+      let iters = min rf (n - base_iter) in
+      List.map (fun cluster -> { cluster; round; iters; base_iter }) clustering)
+    (List.init total_rounds (fun r -> r))
+
+(* A transfer may overlap a computation on [set] unless it reads or writes
+   that same FB set; context loads go to the CM and always overlap. *)
+let can_overlap ~computing_set (tr : Dma.t) =
+  match tr.Dma.kind with
+  | Dma.Context -> true
+  | Dma.Data { set; _ } -> set <> computing_set
+
+let compute_cycles config app (e : execution) =
+  let per_iter =
+    Msutil.Listx.sum_by
+      (fun kid -> (Application.kernel app kid).Kernel_ir.Kernel.exec_cycles)
+      e.cluster.Cluster.kernels
+  in
+  (* one context broadcast per kernel per round (loop fission lets each
+     kernel keep its configuration for all the round's iterations) *)
+  let reconfig =
+    Msutil.Listx.sum_by
+      (fun kid ->
+        Morphosys.Rc_array.reconfigure_cycles config
+          ~contexts:(Application.kernel app kid).Kernel_ir.Kernel.contexts)
+      e.cluster.Cluster.kernels
+  in
+  (e.iters * per_iter) + reconfig
+
+let build ?(cross_set = false) config app clustering ~rf ~ctx_plan ~generators
+    ~scheduler =
+  if rf < 1 then invalid_arg "Step_builder.build: rf must be >= 1";
+  let execs = Array.of_list (executions app clustering ~rf) in
+  let s_max = Array.length execs in
+  let loads_of s =
+    if s >= s_max then []
+    else
+      let e = execs.(s) in
+      generators.loads e.cluster ~round:e.round ~iters:e.iters
+        ~base_iter:e.base_iter
+  in
+  let stores_of s =
+    if s < 0 || s >= s_max then []
+    else
+      let e = execs.(s) in
+      generators.stores e.cluster ~round:e.round ~iters:e.iters
+        ~base_iter:e.base_iter
+  in
+  let ctx_of s =
+    if s >= s_max then []
+    else
+      let e = execs.(s) in
+      let words =
+        Context_scheduler.load_words_for_round ctx_plan ~app ~clustering
+          ~cluster:e.cluster ~round:e.round
+      in
+      if words = 0 then []
+      else
+        [
+          Dma.context_load
+            ~kernel:(Printf.sprintf "Cl%d" e.cluster.Cluster.id)
+            ~words;
+        ]
+  in
+  let steps = ref [] in
+  let emit step = steps := step :: !steps in
+  (* Priming step: everything execution 0 needs, nothing to overlap with. *)
+  emit
+    {
+      Schedule.compute = None;
+      dma = ctx_of 0 @ loads_of 0;
+      note = "prime first cluster";
+    };
+  for s = 0 to s_max - 1 do
+    let e = execs.(s) in
+    let prep = stores_of (s - 1) @ loads_of (s + 1) @ ctx_of (s + 1) in
+    let overlapped, deferred =
+      List.partition (can_overlap ~computing_set:e.cluster.Cluster.fb_set) prep
+    in
+    emit
+      {
+        Schedule.compute =
+          Some
+            {
+              Schedule.cluster = e.cluster;
+              round = e.round;
+              iterations = e.iters;
+              compute_cycles = compute_cycles config app e;
+            };
+        dma = overlapped;
+        note = "";
+      };
+    if deferred <> [] then
+      emit
+        { Schedule.compute = None; dma = deferred; note = "set conflict stall" }
+  done;
+  (* Drain: results of the last execution. *)
+  let final_stores = stores_of (s_max - 1) in
+  if final_stores <> [] then
+    emit { Schedule.compute = None; dma = final_stores; note = "final drain" };
+  {
+    Schedule.scheduler;
+    app;
+    clustering;
+    rf;
+    cross_set;
+    steps = List.rev !steps;
+  }

@@ -1,0 +1,35 @@
+(** Shared machinery turning per-cluster transfer lists into the pipelined
+    step sequence all three schedulers (Basic, DS, CDS) emit.
+
+    Execution order is rounds x clusters. While execution step [s] computes,
+    the DMA channel (a) stores the outliving results of step [s-1], (b)
+    loads the data of step [s+1] and (c) loads the contexts of step [s+1].
+    A transfer may only overlap the computation if it does not touch the
+    computing cluster's FB set; offending transfers are emitted in a
+    standalone DMA step between the two computations (this happens at the
+    round wrap-around when the cluster count is odd). *)
+
+type generators = {
+  loads :
+    Kernel_ir.Cluster.t -> round:int -> iters:int -> base_iter:int ->
+    Morphosys.Dma.t list;
+      (** data to bring into the cluster's set before it runs (one transfer
+          per object instance, labelled ["name@iter"]) *)
+  stores :
+    Kernel_ir.Cluster.t -> round:int -> iters:int -> base_iter:int ->
+    Morphosys.Dma.t list;
+      (** results to drain from the cluster's set after it runs *)
+}
+
+val build :
+  ?cross_set:bool ->
+  Morphosys.Config.t ->
+  Kernel_ir.Application.t ->
+  Kernel_ir.Cluster.clustering ->
+  rf:int ->
+  ctx_plan:Context_scheduler.plan ->
+  generators:generators ->
+  scheduler:string ->
+  Schedule.t
+(** @raise Invalid_argument if [rf < 1]. [cross_set] is recorded in the
+    schedule for the validator (default false). *)

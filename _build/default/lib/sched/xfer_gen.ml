@@ -1,0 +1,51 @@
+module IE = Kernel_ir.Info_extractor
+module Data = Kernel_ir.Data
+module Dma = Morphosys.Dma
+
+let instances ~objects ~iters ~base_iter f =
+  List.concat_map
+    (fun (d : Data.t) ->
+      if d.Data.invariant then
+        (* one constant copy serves every iteration of the round *)
+        [ f ~label:(Schedule.instance_label d.name ~iter:0) ~words:d.size ]
+      else
+        List.init iters (fun i ->
+            f ~label:(Schedule.instance_label d.name ~iter:(base_iter + i))
+              ~words:d.size))
+    objects
+
+let loads_for_objects ~set ~objects ~iters ~base_iter =
+  instances ~objects ~iters ~base_iter (fun ~label ~words ->
+      Dma.data_load ~set ~label ~words)
+
+let stores_for_objects ~set ~objects ~iters ~base_iter =
+  instances ~objects ~iters ~base_iter (fun ~label ~words ->
+      Dma.data_store ~set ~label ~words)
+
+let make_generators app clustering ~stored_objects =
+  let profiles = IE.profiles app clustering in
+  let profile_of (c : Kernel_ir.Cluster.t) =
+    List.nth profiles c.Kernel_ir.Cluster.id
+  in
+  {
+    Step_builder.loads =
+      (fun c ~round:_ ~iters ~base_iter ->
+        loads_for_objects ~set:c.Kernel_ir.Cluster.fb_set
+          ~objects:(profile_of c).IE.external_inputs ~iters ~base_iter);
+    stores =
+      (fun c ~round:_ ~iters ~base_iter ->
+        stores_for_objects ~set:c.Kernel_ir.Cluster.fb_set
+          ~objects:(stored_objects (profile_of c)) ~iters ~base_iter);
+  }
+
+let plain app clustering =
+  make_generators app clustering ~stored_objects:(fun p -> p.IE.outliving)
+
+let store_everything app clustering =
+  let produced (p : IE.cluster_profile) =
+    List.concat_map
+      (fun kp ->
+        kp.IE.rout_objects @ List.map fst kp.IE.intermediate_objects)
+      p.IE.kernel_profiles
+  in
+  make_generators app clustering ~stored_objects:produced

@@ -1,0 +1,34 @@
+(** Transfer-list generators shared by the Basic and Data schedulers: every
+    cluster input produced outside the cluster is loaded for every
+    iteration, every outliving result is stored for every iteration. The
+    Complete Data Scheduler refines these by skipping retained objects. *)
+
+val plain :
+  Kernel_ir.Application.t ->
+  Kernel_ir.Cluster.clustering ->
+  Step_builder.generators
+(** The Data Scheduler's traffic: load cluster inputs, store only the
+    results that outlive the cluster (intermediates die on chip). *)
+
+val store_everything :
+  Kernel_ir.Application.t ->
+  Kernel_ir.Cluster.clustering ->
+  Step_builder.generators
+(** The Basic Scheduler's traffic: same loads, but every produced result —
+    intermediates included — is written back to external memory (no
+    liveness analysis, the "no data reuse" baseline). *)
+
+val loads_for_objects :
+  set:Morphosys.Frame_buffer.set ->
+  objects:Kernel_ir.Data.t list ->
+  iters:int ->
+  base_iter:int ->
+  Morphosys.Dma.t list
+(** One load per (object, iteration) instance, labelled ["name@iter"]. *)
+
+val stores_for_objects :
+  set:Morphosys.Frame_buffer.set ->
+  objects:Kernel_ir.Data.t list ->
+  iters:int ->
+  base_iter:int ->
+  Morphosys.Dma.t list

@@ -1,0 +1,1 @@
+lib/sim/executor.ml: List Metrics Morphosys Sched

@@ -1,0 +1,1 @@
+lib/sim/executor.mli: Metrics Morphosys Sched

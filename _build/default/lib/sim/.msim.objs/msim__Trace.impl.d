@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Buffer Bytes Executor Format Kernel_ir List Metrics Printf Sched String

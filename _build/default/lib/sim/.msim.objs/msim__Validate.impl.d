@@ -1,0 +1,1 @@
+lib/sim/validate.ml: Format Hashtbl Kernel_ir List Morphosys Option Sched String

@@ -1,0 +1,1 @@
+lib/sim/validate.mli: Format Sched

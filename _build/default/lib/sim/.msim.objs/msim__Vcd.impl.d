@@ -1,0 +1,1 @@
+lib/sim/vcd.ml: Buffer Bytes Executor Kernel_ir List Morphosys Msutil Printf Sched String

@@ -1,0 +1,28 @@
+type t = {
+  total_cycles : int;
+  compute_cycles : int;
+  dma_cycles : int;
+  overlapped_dma_cycles : int;
+  stall_cycles : int;
+  data_words_loaded : int;
+  data_words_stored : int;
+  context_words_loaded : int;
+  steps : int;
+}
+
+let improvement_over ~baseline t =
+  if baseline.total_cycles = 0 then 0.
+  else
+    100.
+    *. float_of_int (baseline.total_cycles - t.total_cycles)
+    /. float_of_int baseline.total_cycles
+
+let data_words t = t.data_words_loaded + t.data_words_stored
+
+let pp fmt t =
+  Format.fprintf fmt
+    "total=%d cyc (compute=%d, dma=%d, overlapped=%d, stall=%d) loads=%dw \
+     stores=%dw ctx=%dw steps=%d"
+    t.total_cycles t.compute_cycles t.dma_cycles t.overlapped_dma_cycles
+    t.stall_cycles t.data_words_loaded t.data_words_stored
+    t.context_words_loaded t.steps

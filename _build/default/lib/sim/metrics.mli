@@ -1,0 +1,24 @@
+(** Results of replaying a schedule on the machine model. *)
+
+type t = {
+  total_cycles : int;  (** wall-clock cycles of the whole application *)
+  compute_cycles : int;  (** RC-array busy cycles *)
+  dma_cycles : int;  (** DMA channel busy cycles *)
+  overlapped_dma_cycles : int;
+      (** DMA cycles hidden under computation (min of the two per step) *)
+  stall_cycles : int;
+      (** cycles the RC array waited on the DMA ([total - compute]) *)
+  data_words_loaded : int;
+  data_words_stored : int;
+  context_words_loaded : int;
+  steps : int;
+}
+
+val improvement_over : baseline:t -> t -> float
+(** Relative execution-time improvement in percent, the paper's Figure 6
+    metric: [100 * (baseline - this) / baseline]. *)
+
+val data_words : t -> int
+(** Loads plus stores. *)
+
+val pp : Format.formatter -> t -> unit

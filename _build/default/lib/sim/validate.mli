@@ -1,0 +1,28 @@
+(** Semantic checker for schedules — the simulator's referee.
+
+    Replays a schedule at the granularity of (object, iteration) instances
+    and verifies, independently of how the schedule was built:
+
+    - *residency*: every kernel input is present in the kernel's FB set when
+      the kernel executes (loaded earlier, retained, or produced by an
+      earlier kernel of the same cluster in the same iteration);
+    - *store validity*: every stored instance was resident when stored;
+    - *output completeness*: every final result of every iteration is stored
+      to external memory exactly once;
+    - *overlap legality*: no transfer overlapped with a computation touches
+      the computing cluster's FB set;
+    - *computation coverage*: every (cluster, iteration) pair executes
+      exactly once, in iteration order per cluster.
+
+    Space (does everything fit?) is checked separately by the footprint
+    logic and the allocation algorithm, not here. *)
+
+type violation = { step_index : int; message : string }
+
+val check : Sched.Schedule.t -> violation list
+(** Empty list = schedule is semantically sound. *)
+
+val check_exn : Sched.Schedule.t -> unit
+(** @raise Failure with a joined diagnostic if any violation is found. *)
+
+val pp_violation : Format.formatter -> violation -> unit

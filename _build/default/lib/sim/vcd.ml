@@ -1,0 +1,156 @@
+module Schedule = Sched.Schedule
+
+let rc_id = "!"
+let dma_id = "\""
+let cluster_id = "#"
+let round_id = "$"
+let words_id = "%"
+
+let binary ~width v =
+  let buf = Bytes.make width '0' in
+  let rec fill v i =
+    if v > 0 && i >= 0 then begin
+      if v land 1 = 1 then Bytes.set buf i '1';
+      fill (v lsr 1) (i - 1)
+    end
+  in
+  fill v (width - 1);
+  Bytes.to_string buf
+
+let of_schedule config (schedule : Schedule.t) =
+  let _, timeline = Executor.run_timed config schedule in
+  let buf = Buffer.create 4096 in
+  let add = Buffer.add_string buf in
+  add "$date morphosys-cds $end\n";
+  add (Printf.sprintf "$comment schedule %s of %s $end\n"
+         schedule.Schedule.scheduler
+         schedule.Schedule.app.Kernel_ir.Application.name);
+  add "$timescale 1 ns $end\n";
+  add "$scope module morphosys $end\n";
+  add (Printf.sprintf "$var wire 1 %s rc_busy $end\n" rc_id);
+  add (Printf.sprintf "$var wire 1 %s dma_busy $end\n" dma_id);
+  add (Printf.sprintf "$var wire 8 %s cluster $end\n" cluster_id);
+  add (Printf.sprintf "$var wire 16 %s round $end\n" round_id);
+  add (Printf.sprintf "$var wire 32 %s dma_words $end\n" words_id);
+  add "$upscope $end\n$enddefinitions $end\n";
+  add "$dumpvars\n";
+  add (Printf.sprintf "0%s\n0%s\nbx %s\nbx %s\nb0 %s\n$end\n" rc_id dma_id
+         cluster_id round_id words_id);
+  (* Each step contributes change events at its start (activity rises) and
+     at the end of whichever engine finishes first/last. *)
+  let events = ref [] in
+  let emit time line = events := (time, line) :: !events in
+  List.iter
+    (fun (t : Executor.timed_step) ->
+      let words =
+        Msutil.Listx.sum_by
+          (fun (tr : Morphosys.Dma.t) -> tr.Morphosys.Dma.words)
+          t.step.Schedule.dma
+      in
+      (match t.step.Schedule.compute with
+      | Some c ->
+        emit t.start_cycle (Printf.sprintf "1%s" rc_id);
+        emit t.start_cycle
+          (Printf.sprintf "b%s %s"
+             (binary ~width:8 c.Schedule.cluster.Kernel_ir.Cluster.id)
+             cluster_id);
+        emit t.start_cycle
+          (Printf.sprintf "b%s %s" (binary ~width:16 c.Schedule.round) round_id);
+        emit (t.start_cycle + t.compute_cost) (Printf.sprintf "0%s" rc_id);
+        emit (t.start_cycle + t.compute_cost)
+          (Printf.sprintf "bx %s" cluster_id);
+        emit (t.start_cycle + t.compute_cost) (Printf.sprintf "bx %s" round_id)
+      | None -> ());
+      if t.dma_cost > 0 then begin
+        emit t.start_cycle (Printf.sprintf "1%s" dma_id);
+        emit t.start_cycle
+          (Printf.sprintf "b%s %s" (binary ~width:32 words) words_id);
+        emit (t.start_cycle + t.dma_cost) (Printf.sprintf "0%s" dma_id)
+      end)
+    timeline;
+  let sorted =
+    List.stable_sort (fun (a, _) (b, _) -> compare a b) (List.rev !events)
+  in
+  let current = ref (-1) in
+  List.iter
+    (fun (time, line) ->
+      if time <> !current then begin
+        add (Printf.sprintf "#%d\n" time);
+        current := time
+      end;
+      add line;
+      add "\n")
+    sorted;
+  Buffer.contents buf
+
+module Parse = struct
+  type change = { time : int; id : string; value : string }
+
+  type t = {
+    timescale : string;
+    signals : (string * string) list;
+    changes : change list;
+  }
+
+  let parse text =
+    let lines = String.split_on_char '\n' text in
+    let timescale = ref "" in
+    let signals = ref [] in
+    let changes = ref [] in
+    let time = ref 0 in
+    let error = ref None in
+    List.iter
+      (fun line ->
+        let line = String.trim line in
+        if !error <> None || line = "" then ()
+        else if String.length line > 10 && String.sub line 0 10 = "$timescale"
+        then
+          timescale :=
+            String.trim
+              (String.concat " "
+                 (List.filter
+                    (fun t -> t <> "$timescale" && t <> "$end")
+                    (String.split_on_char ' ' line)))
+        else if String.length line > 4 && String.sub line 0 4 = "$var" then begin
+          match String.split_on_char ' ' line with
+          | [ "$var"; "wire"; _width; id; name; "$end" ] ->
+            signals := (id, name) :: !signals
+          | _ -> error := Some ("bad $var line: " ^ line)
+        end
+        else if line.[0] = '#' then begin
+          match int_of_string_opt (String.sub line 1 (String.length line - 1)) with
+          | Some t -> time := t
+          | None -> error := Some ("bad timestamp: " ^ line)
+        end
+        else if line.[0] = '0' || line.[0] = '1' then
+          changes :=
+            {
+              time = !time;
+              id = String.sub line 1 (String.length line - 1);
+              value = String.make 1 line.[0];
+            }
+            :: !changes
+        else if line.[0] = 'b' then begin
+          match String.index_opt line ' ' with
+          | Some i ->
+            changes :=
+              {
+                time = !time;
+                id = String.sub line (i + 1) (String.length line - i - 1);
+                value = String.sub line 1 (i - 1);
+              }
+              :: !changes
+          | None -> error := Some ("bad vector change: " ^ line)
+        end
+        else () (* headers, $dumpvars, $end, comments *))
+      lines;
+    match !error with
+    | Some e -> Error e
+    | None ->
+      Ok
+        {
+          timescale = !timescale;
+          signals = List.rev !signals;
+          changes = List.rev !changes;
+        }
+end

@@ -1,0 +1,29 @@
+(** Value Change Dump (IEEE 1364) export of a schedule's timeline, so the
+    machine's activity can be inspected in any waveform viewer (GTKWave
+    etc.).
+
+    Signals:
+    - [rc_busy]    (1 bit): the RC array is computing;
+    - [dma_busy]   (1 bit): the DMA channel is transferring;
+    - [cluster]    (8 bit): id of the computing cluster (xx when idle);
+    - [round]      (16 bit): current round (xx when idle);
+    - [dma_words]  (32 bit): words moved by the step's transfer batch.
+
+    One timescale unit is one machine cycle. *)
+
+val of_schedule : Morphosys.Config.t -> Sched.Schedule.t -> string
+(** Render the full VCD document for the schedule's execution. *)
+
+(** A minimal parser for the subset {!of_schedule} emits — used by the
+    round-trip tests and handy for programmatic inspection. *)
+module Parse : sig
+  type change = { time : int; id : string; value : string }
+
+  type t = {
+    timescale : string;
+    signals : (string * string) list;  (** (id, name) declarations *)
+    changes : change list;  (** in time order *)
+  }
+
+  val parse : string -> (t, string) result
+end

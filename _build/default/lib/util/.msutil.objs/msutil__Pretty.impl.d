@@ -1,0 +1,1 @@
+lib/util/pretty.ml: Array Float Format List Printf String

@@ -1,0 +1,69 @@
+let sum l = List.fold_left ( + ) 0 l
+
+let sum_by f l = List.fold_left (fun acc x -> acc + f x) 0 l
+
+let max_by f l = List.fold_left (fun acc x -> max acc (f x)) 0 l
+
+let rec take n l =
+  match (n, l) with
+  | 0, _ | _, [] -> []
+  | n, x :: rest -> x :: take (n - 1) rest
+
+let rec drop n l =
+  match (n, l) with
+  | 0, l -> l
+  | _, [] -> []
+  | n, _ :: rest -> drop (n - 1) rest
+
+let rec last = function
+  | [] -> None
+  | [ x ] -> Some x
+  | _ :: rest -> last rest
+
+let index_of p l =
+  let rec loop i = function
+    | [] -> None
+    | x :: rest -> if p x then Some i else loop (i + 1) rest
+  in
+  loop 0 l
+
+let uniq eq l =
+  let rec loop seen = function
+    | [] -> List.rev seen
+    | x :: rest ->
+      if List.exists (eq x) seen then loop seen rest else loop (x :: seen) rest
+  in
+  loop [] l
+
+let windows l =
+  let rec loop before acc = function
+    | [] -> List.rev acc
+    | x :: after -> loop (before @ [ x ]) ((before, x, after) :: acc) after
+  in
+  loop [] [] l
+
+let rec compositions n =
+  if n < 0 then invalid_arg "Listx.compositions: negative argument"
+  else if n = 0 then [ [] ]
+  else
+    List.concat_map
+      (fun first ->
+        List.map (fun rest -> first :: rest) (compositions (n - first)))
+      (List.init n (fun i -> i + 1))
+
+let group_consecutive eq l =
+  let rec loop current acc = function
+    | [] -> List.rev (List.rev current :: acc)
+    | x :: rest -> (
+      match current with
+      | [] -> loop [ x ] acc rest
+      | y :: _ when eq x y -> loop (x :: current) acc rest
+      | _ -> loop [ x ] (List.rev current :: acc) rest)
+  in
+  match l with [] -> [] | _ -> loop [] [] l
+
+let init_list n f = List.init n f
+
+let rec pairs = function
+  | [] -> []
+  | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest

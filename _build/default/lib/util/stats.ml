@@ -1,0 +1,46 @@
+let mean = function
+  | [] -> 0.
+  | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+
+let geomean = function
+  | [] -> 0.
+  | l ->
+    let log_sum = List.fold_left (fun acc x -> acc +. log x) 0. l in
+    exp (log_sum /. float_of_int (List.length l))
+
+let stddev l =
+  match l with
+  | [] | [ _ ] -> 0.
+  | l ->
+    let m = mean l in
+    let var = mean (List.map (fun x -> (x -. m) ** 2.) l) in
+    sqrt var
+
+let minf = List.fold_left min infinity
+let maxf = List.fold_left max neg_infinity
+
+let percent ~num ~den =
+  if den = 0 then 0. else 100. *. float_of_int num /. float_of_int den
+
+let ratio ~num ~den =
+  if den = 0 then 0. else float_of_int num /. float_of_int den
+
+let histogram ~bins values =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  match values with
+  | [] -> [||]
+  | _ ->
+    let lo = minf values and hi = maxf values in
+    let width =
+      if hi > lo then (hi -. lo) /. float_of_int bins else 1.0
+    in
+    let counts = Array.make bins 0 in
+    let bucket v =
+      let i = int_of_float ((v -. lo) /. width) in
+      min (bins - 1) (max 0 i)
+    in
+    List.iter (fun v -> counts.(bucket v) <- counts.(bucket v) + 1) values;
+    Array.mapi
+      (fun i c ->
+        (lo +. (float_of_int i *. width), lo +. (float_of_int (i + 1) *. width), c))
+      counts

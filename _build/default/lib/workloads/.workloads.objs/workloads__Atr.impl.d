@@ -1,0 +1,1 @@
+lib/workloads/atr.ml: Kernel_ir List Printf

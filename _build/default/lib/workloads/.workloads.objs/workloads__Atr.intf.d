@@ -1,0 +1,1 @@
+lib/workloads/atr.mli: Kernel_ir

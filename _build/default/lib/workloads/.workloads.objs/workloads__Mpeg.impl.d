@@ -1,0 +1,1 @@
+lib/workloads/mpeg.ml: Kernel_ir

@@ -1,0 +1,1 @@
+lib/workloads/mpeg.mli: Kernel_ir

@@ -1,0 +1,1 @@
+lib/workloads/random_app.ml: Format Kernel_ir List Printf QCheck

@@ -1,0 +1,1 @@
+lib/workloads/random_app.mli: Kernel_ir QCheck

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Atr Kernel_ir List Mpeg Synthetic

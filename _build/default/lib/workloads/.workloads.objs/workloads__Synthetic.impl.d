@@ -1,0 +1,1 @@
+lib/workloads/synthetic.ml: Kernel_ir List Printf

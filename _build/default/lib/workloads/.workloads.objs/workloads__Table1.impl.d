@@ -1,0 +1,1 @@
+lib/workloads/table1.ml: Atr Kernel_ir List Morphosys Mpeg Synthetic

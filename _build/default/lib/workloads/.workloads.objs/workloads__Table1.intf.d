@@ -1,0 +1,1 @@
+lib/workloads/table1.mli: Kernel_ir Morphosys

@@ -1,0 +1,53 @@
+module B = Kernel_ir.Builder
+module Cluster = Kernel_ir.Cluster
+
+(* SLD: four (correlate, reduce) pairs over one shared image chip. The chip
+   dominates the traffic, so whether its consumer clusters share an FB set
+   decides how much the Complete Data Scheduler can retain. *)
+let sld () =
+  let correlator b i =
+    let corr = Printf.sprintf "corr%d" i in
+    let red = Printf.sprintf "red%d" i in
+    b
+    |> B.kernel corr ~contexts:256 ~cycles:450
+    |> B.kernel red ~contexts:256 ~cycles:240
+    |> B.input (Printf.sprintf "tmpl%d" i) ~size:512 ~consumers:[ corr ]
+    |> B.result (Printf.sprintf "partial%d" i) ~size:512 ~producer:corr
+         ~consumers:[ red ]
+    |> B.final (Printf.sprintf "score%d" i) ~size:384 ~producer:red
+  in
+  let b = B.create "ATR-SLD" ~iterations:60 in
+  (* kernels must be declared in execution order: corr1 red1 corr2 red2 ... *)
+  let b = List.fold_left correlator b [ 1; 2; 3; 4 ] in
+  b
+  |> B.input "img" ~size:5120 ~consumers:[ "corr1"; "corr2"; "corr3"; "corr4" ]
+  |> B.build
+
+let sld_clustering app = Cluster.of_partition app [ 2; 2; 2; 2 ]
+let sld_star_clustering app = Cluster.of_partition app [ 1; 1; 1; 1; 1; 1; 1; 1 ]
+let sld_star2_clustering app = Cluster.of_partition app [ 2; 4; 2 ]
+
+(* FI: a six-kernel identification pipeline over candidate feature vectors,
+   with two small library tables shared across non-adjacent clusters. *)
+let fi () =
+  B.create "ATR-FI" ~iterations:60
+  |> B.kernel "feat1" ~contexts:384 ~cycles:240
+  |> B.kernel "feat2" ~contexts:384 ~cycles:240
+  |> B.kernel "dist1" ~contexts:384 ~cycles:260
+  |> B.kernel "dist2" ~contexts:384 ~cycles:260
+  |> B.kernel "rank" ~contexts:384 ~cycles:220
+  |> B.kernel "select" ~contexts:384 ~cycles:220
+  |> B.input "cand" ~size:120 ~consumers:[ "feat1" ]
+  |> B.input "lib_a" ~size:100 ~consumers:[ "feat1"; "rank" ]
+  |> B.input "lib_b" ~size:100 ~consumers:[ "feat2"; "select" ]
+  |> B.input "gallery" ~size:128 ~consumers:[ "dist1" ]
+  |> B.result "f1" ~size:64 ~producer:"feat1" ~consumers:[ "feat2" ]
+  |> B.result "f2" ~size:96 ~producer:"feat2" ~consumers:[ "dist1" ]
+  |> B.result "d1" ~size:64 ~producer:"dist1" ~consumers:[ "dist2" ]
+  |> B.result "d2" ~size:96 ~producer:"dist2" ~consumers:[ "rank" ]
+  |> B.result "r1" ~size:64 ~producer:"rank" ~consumers:[ "select" ]
+  |> B.final "ident" ~size:60 ~producer:"select"
+  |> B.build
+
+let fi_clustering app = Cluster.of_partition app [ 2; 2; 2 ]
+let fi_star2_clustering app = Cluster.of_partition app [ 1; 2; 2; 1 ]

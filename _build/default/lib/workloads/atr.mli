@@ -1,0 +1,34 @@
+(** Automatic Target Recognition workloads, modelled after the MorphoSys
+    ATR mapping (template correlation over image chips).
+
+    {b ATR-SLD} — second level of detection: four template correlators,
+    each a (correlate, reduce) kernel pair, all reading the same large
+    image chip. The chip is the dominant retention opportunity; the three
+    Table 1 variants are three kernel schedules of the same application:
+
+    - [sld_clustering] — [{c1,r1} {c2,r2} {c3,r3} {c4,r4}] (the paper's
+      ATR-SLD row);
+    - [sld_star_clustering] — eight singleton clusters (the ATR-SLD-star
+      row): all intermediates become inter-cluster results, so the Data
+      Scheduler gains nothing (0%) while retention saves the most;
+    - [sld_star2_clustering] — [{c1,r1} {c2,r2,c3,r3} {c4,r4}] (the
+      ATR-SLD-star-star row): only two of the chip's consumer clusters
+      share a set, so retention helps less than in the other two schedules.
+
+    {b ATR-FI} — final identification: a lighter three-cluster pipeline of
+    distance computations over candidate feature vectors with small shared
+    tables; RF grows with the FB size (2 at 1K, 5 at 2K). [fi_clustering]
+    is the schedule of the ATR-FI and ATR-FI-star rows and
+    [fi_star2_clustering] the ATR-FI-star-star variant. *)
+
+val sld : unit -> Kernel_ir.Application.t
+val sld_clustering : Kernel_ir.Application.t -> Kernel_ir.Cluster.clustering
+val sld_star_clustering :
+  Kernel_ir.Application.t -> Kernel_ir.Cluster.clustering
+val sld_star2_clustering :
+  Kernel_ir.Application.t -> Kernel_ir.Cluster.clustering
+
+val fi : unit -> Kernel_ir.Application.t
+val fi_clustering : Kernel_ir.Application.t -> Kernel_ir.Cluster.clustering
+val fi_star2_clustering :
+  Kernel_ir.Application.t -> Kernel_ir.Cluster.clustering

@@ -1,0 +1,23 @@
+(** MPEG-2 decoder macroblock pipeline, modelled after the MorphoSys
+    mapping (Singh et al., DAC'00): inverse quantisation, row/column IDCT,
+    motion compensation, reconstruction and loop filtering over batches of
+    macroblocks. One application iteration processes one macroblock strip.
+
+    The kernel graph reconstructs the paper's MPEG rows of Table 1: the
+    Basic Scheduler's no-replacement footprint exceeds a 1K frame-buffer
+    set (the paper: "Basic Scheduler cannot execute MPEG if memory size is
+    1K"), while the Data Scheduler's replacement footprint fits; RF grows
+    from 2 (FB = 2K) to 4 (FB = 3K). Retention opportunities are small
+    (macroblock headers shared between the set-A clusters), matching the
+    paper's DT of roughly 0.1K words per iteration. *)
+
+val app : unit -> Kernel_ir.Application.t
+
+val clustering : Kernel_ir.Application.t -> Kernel_ir.Cluster.clustering
+(** The 3-cluster schedule used in the experiments:
+    [{iq, idct_row} {idct_col, mc} {add, filter}]. *)
+
+val app_invariant : unit -> Kernel_ir.Application.t
+(** The same decoder with the quantisation matrix, macroblock headers and
+    strip parameters marked iteration-invariant (the extension study:
+    retaining constant tables for the whole run). *)

@@ -1,0 +1,116 @@
+module Gen = QCheck.Gen
+module B = Kernel_ir.Builder
+module Cluster = Kernel_ir.Cluster
+
+let kernel_name i = Printf.sprintf "k%d" i
+
+(* A random non-empty sorted subset of [lo..hi]. *)
+let gen_consumers ~lo ~hi =
+  let open Gen in
+  if lo > hi then pure []
+  else
+    let* picks =
+      list_size (int_range 1 (min 3 (hi - lo + 1))) (int_range lo hi)
+    in
+    pure (List.sort_uniq compare picks)
+
+let gen_app ?(min_kernels = 2) ?(max_kernels = 6) ?(max_data = 8)
+    ?(max_size = 256) () =
+  let open Gen in
+  let* n = int_range min_kernels max_kernels in
+  let* iterations = int_range 2 12 in
+  let* kernel_specs =
+    list_repeat n
+      (pair (int_range 32 256) (* contexts *) (int_range 100 600)
+      (* cycles *))
+  in
+  let base =
+    List.fold_left
+      (fun (b, i) (contexts, cycles) ->
+        (B.kernel (kernel_name i) ~contexts ~cycles b, i + 1))
+      (B.create "random" ~iterations, 0)
+      kernel_specs
+    |> fst
+  in
+  (* every kernel gets a private input so no kernel is data-free *)
+  let* private_sizes = list_repeat n (int_range 8 max_size) in
+  let base =
+    List.fold_left
+      (fun (b, i) size ->
+        ( B.input (Printf.sprintf "in%d" i) ~size
+            ~consumers:[ kernel_name i ] b,
+          i + 1 ))
+      (base, 0) private_sizes
+    |> fst
+  in
+  (* extra random objects: shared inputs, intermediate chains, finals *)
+  let* extras = int_range 0 max_data in
+  let gen_extra i =
+    let* size = int_range 8 max_size in
+    let* kind = int_range 0 2 in
+    match kind with
+    | 0 ->
+      (* shared external input, sometimes an iteration-invariant table *)
+      let* consumers = gen_consumers ~lo:0 ~hi:(n - 1) in
+      let* invariant = QCheck.Gen.bool in
+      pure
+        (B.input ~invariant
+           (Printf.sprintf "sh%d" i)
+           ~size
+           ~consumers:(List.map kernel_name consumers))
+    | 1 when n >= 2 ->
+      (* result of some kernel, consumed later, possibly also final *)
+      let* producer = int_range 0 (n - 2) in
+      let* consumers = gen_consumers ~lo:(producer + 1) ~hi:(n - 1) in
+      let* final = bool in
+      pure
+        (B.result
+           (Printf.sprintf "r%d" i)
+           ~final ~size
+           ~producer:(kernel_name producer)
+           ~consumers:(List.map kernel_name consumers))
+    | _ ->
+      (* pure final result *)
+      let* producer = int_range 0 (n - 1) in
+      pure
+        (B.final (Printf.sprintf "f%d" i) ~size ~producer:(kernel_name producer))
+  in
+  let* extra_fns = List.init extras gen_extra |> flatten_l in
+  (* every kernel must also produce something for realism: add a final per
+     kernel lacking outputs, deterministic and cheap *)
+  let b = List.fold_left (fun b f -> f b) base extra_fns in
+  let b =
+    List.fold_left
+      (fun b i ->
+        B.final (Printf.sprintf "out%d" i) ~size:16
+          ~producer:(kernel_name i) b)
+      b
+      (List.init n (fun i -> i))
+  in
+  pure (B.build b)
+
+let gen_clustering app =
+  let open Gen in
+  let n = Kernel_ir.Application.n_kernels app in
+  let rec gen_sizes remaining =
+    if remaining = 0 then pure []
+    else
+      let* first = int_range 1 remaining in
+      let* rest = gen_sizes (remaining - first) in
+      pure (first :: rest)
+  in
+  let* sizes = gen_sizes n in
+  pure (Cluster.of_partition app sizes)
+
+let gen_app_with_clustering ?min_kernels ?max_kernels ?max_data ?max_size () =
+  let open Gen in
+  let* app = gen_app ?min_kernels ?max_kernels ?max_data ?max_size () in
+  let* clustering = gen_clustering app in
+  pure (app, clustering)
+
+let arb_app_with_clustering =
+  QCheck.make
+    ~print:(fun (app, clustering) ->
+      Format.asprintf "%a@\n%a" Kernel_ir.Application.pp app
+        Cluster.pp_clustering clustering)
+    (gen_app_with_clustering ())

@@ -1,0 +1,31 @@
+(** QCheck generators for random — but always well-formed — applications and
+    clusterings, used by the property-based tests (scheduler invariants,
+    DS(C) formula agreement, allocator soundness). *)
+
+val gen_app :
+  ?min_kernels:int ->
+  ?max_kernels:int ->
+  ?max_data:int ->
+  ?max_size:int ->
+  unit ->
+  Kernel_ir.Application.t QCheck.Gen.t
+(** Random kernel chain with random external inputs, intermediate chains,
+    shared data and final results. Every application validates; every
+    kernel consumes at least one object and every object has a legal
+    producer/consumer relation. *)
+
+val gen_clustering :
+  Kernel_ir.Application.t -> Kernel_ir.Cluster.clustering QCheck.Gen.t
+(** A random partition of the application's kernel sequence. *)
+
+val gen_app_with_clustering :
+  ?min_kernels:int ->
+  ?max_kernels:int ->
+  ?max_data:int ->
+  ?max_size:int ->
+  unit ->
+  (Kernel_ir.Application.t * Kernel_ir.Cluster.clustering) QCheck.Gen.t
+
+val arb_app_with_clustering :
+  (Kernel_ir.Application.t * Kernel_ir.Cluster.clustering) QCheck.arbitrary
+(** With a printer, default parameters. *)

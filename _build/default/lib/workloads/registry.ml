@@ -1,0 +1,77 @@
+type entry = {
+  name : string;
+  description : string;
+  app : unit -> Kernel_ir.Application.t;
+  clustering : Kernel_ir.Application.t -> Kernel_ir.Cluster.clustering;
+  default_fb : int;
+}
+
+let all =
+  [
+    {
+      name = "e1";
+      description = "synthetic E1: inter-cluster shared inputs, no intermediates";
+      app = Synthetic.e1;
+      clustering = Synthetic.e1_clustering;
+      default_fb = 1024;
+    };
+    {
+      name = "e2";
+      description = "synthetic E2: in-cluster chains plus same-set sharing";
+      app = Synthetic.e2;
+      clustering = Synthetic.e2_clustering;
+      default_fb = 2048;
+    };
+    {
+      name = "e3";
+      description = "synthetic E3: tiny data, heavy context pressure (RF=11)";
+      app = Synthetic.e3;
+      clustering = Synthetic.e3_clustering;
+      default_fb = 3072;
+    };
+    {
+      name = "mpeg";
+      description = "MPEG-2 decoder macroblock pipeline";
+      app = Mpeg.app;
+      clustering = Mpeg.clustering;
+      default_fb = 2048;
+    };
+    {
+      name = "atr-sld";
+      description = "ATR second-level detection (paired schedule)";
+      app = Atr.sld;
+      clustering = Atr.sld_clustering;
+      default_fb = 8192;
+    };
+    {
+      name = "atr-sld-star";
+      description = "ATR-SLD under the singleton kernel schedule";
+      app = Atr.sld;
+      clustering = Atr.sld_star_clustering;
+      default_fb = 8192;
+    };
+    {
+      name = "atr-fi";
+      description = "ATR final identification pipeline";
+      app = Atr.fi;
+      clustering = Atr.fi_clustering;
+      default_fb = 1024;
+    };
+    {
+      name = "figure5";
+      description = "the paper's Figure 5 allocation example";
+      app = Synthetic.figure5;
+      clustering = Synthetic.figure5_clustering;
+      default_fb = 512;
+    };
+    {
+      name = "figure3";
+      description = "the paper's Figure 3 loop-fission chain";
+      app = Synthetic.figure3;
+      clustering = (fun app -> Kernel_ir.Cluster.singleton_per_kernel app);
+      default_fb = 1024;
+    };
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) all
+let names () = List.map (fun e -> e.name) all

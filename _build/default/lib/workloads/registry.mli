@@ -1,0 +1,15 @@
+(** Name-based registry of the bundled workloads, for the command-line
+    driver and the examples. *)
+
+type entry = {
+  name : string;
+  description : string;
+  app : unit -> Kernel_ir.Application.t;
+  clustering : Kernel_ir.Application.t -> Kernel_ir.Cluster.clustering;
+      (** the default (paper) kernel schedule *)
+  default_fb : int;  (** frame-buffer set size the paper evaluates it at *)
+}
+
+val all : entry list
+val find : string -> entry option
+val names : unit -> string list

@@ -1,0 +1,160 @@
+module B = Kernel_ir.Builder
+module Cluster = Kernel_ir.Cluster
+
+(* E1 — four clusters of two kernels, no intermediates. Each cluster reads
+   a private input and emits final results; one datum per FB set is shared
+   between that set's two clusters, so only the Complete Data Scheduler has
+   anything to retain. Footprint ~600w per cluster: RF=1 at a 1K set,
+   RF=3 at 2K. *)
+let e1 () =
+  let cluster b i =
+    let k1 = Printf.sprintf "e1_k%d" ((2 * i) + 1) in
+    let k2 = Printf.sprintf "e1_k%d" ((2 * i) + 2) in
+    b
+    |> B.kernel k1 ~contexts:384 ~cycles:180
+    |> B.kernel k2 ~contexts:384 ~cycles:180
+    |> B.input (Printf.sprintf "e1_d%d" i) ~size:90 ~consumers:[ k1; k2 ]
+    |> B.final (Printf.sprintf "e1_out%da" i) ~size:35 ~producer:k1
+    |> B.final (Printf.sprintf "e1_out%db" i) ~size:35 ~producer:k2
+  in
+  let b = B.create "E1" ~iterations:60 in
+  let b = List.fold_left cluster b [ 0; 1; 2; 3 ] in
+  b
+  |> B.input "e1_shA" ~size:420 ~consumers:[ "e1_k1"; "e1_k5" ]
+  |> B.input "e1_shB" ~size:420 ~consumers:[ "e1_k3"; "e1_k7" ]
+  |> B.build
+
+let e1_clustering app = Cluster.of_partition app [ 2; 2; 2; 2 ]
+
+(* E2 — three clusters of two kernels with an in-cluster producer/consumer
+   chain, plus a shared datum and a shared result between the two set-A
+   clusters. Footprint ~670w: RF=1 at 1K, RF=3 at 2K. *)
+let e2 () =
+  let cluster b i =
+    let k1 = Printf.sprintf "e2_k%d" ((2 * i) + 1) in
+    let k2 = Printf.sprintf "e2_k%d" ((2 * i) + 2) in
+    b
+    |> B.kernel k1 ~contexts:448 ~cycles:200
+    |> B.kernel k2 ~contexts:448 ~cycles:200
+    |> B.input (Printf.sprintf "e2_d%d" i) ~size:150 ~consumers:[ k1 ]
+    |> B.result (Printf.sprintf "e2_r%d" i) ~size:120 ~producer:k1
+         ~consumers:[ k2 ]
+    |> B.final (Printf.sprintf "e2_out%d" i) ~size:100 ~producer:k2
+  in
+  let b = B.create "E2" ~iterations:60 in
+  let b = List.fold_left cluster b [ 0; 1; 2 ] in
+  b
+  |> B.input "e2_sh" ~size:180 ~consumers:[ "e2_k1"; "e2_k5" ]
+  |> B.result "e2_r02" ~size:120 ~producer:"e2_k2" ~consumers:[ "e2_k6" ]
+  |> B.build
+
+let e2_clustering app = Cluster.of_partition app [ 2; 2; 2 ]
+
+(* E3 — four clusters of two kernels, tiny data (footprint ~270w, so a 3K
+   set reaches RF=11) under heavy context pressure (3.5K context words
+   against a 2K CM), which is where loop fission pays most. *)
+let e3 () =
+  let cluster b i =
+    let k1 = Printf.sprintf "e3_k%d" ((2 * i) + 1) in
+    let k2 = Printf.sprintf "e3_k%d" ((2 * i) + 2) in
+    b
+    |> B.kernel k1 ~contexts:448 ~cycles:120
+    |> B.kernel k2 ~contexts:448 ~cycles:120
+    |> B.input (Printf.sprintf "e3_d%d" i) ~size:100 ~consumers:[ k1 ]
+    |> B.result (Printf.sprintf "e3_r%d" i) ~size:60 ~producer:k1
+         ~consumers:[ k2 ]
+    |> B.final (Printf.sprintf "e3_out%d" i) ~size:70 ~producer:k2
+  in
+  let b = B.create "E3" ~iterations:66 in
+  let b = List.fold_left cluster b [ 0; 1; 2; 3 ] in
+  b
+  |> B.input "e3_shA" ~size:100 ~consumers:[ "e3_k1"; "e3_k5" ]
+  |> B.input "e3_shB" ~size:100 ~consumers:[ "e3_k3"; "e3_k7" ]
+  |> B.build
+
+let e3_clustering app = Cluster.of_partition app [ 2; 2; 2; 2 ]
+
+(* Figure 5 — seven single-kernel clusters around a three-kernel "cluster 3"
+   (our cluster id 2). Shared data D13 (clusters 1 and 3, paper numbering),
+   D37 (3 and 7), private inputs d1/d2, intermediates r13/r23, shared result
+   R3,5 and final result Rout, all inside cluster 3. Sizes chosen so that a
+   1K frame-buffer set runs it at RF=2 like the figure. *)
+let figure5 () =
+  B.create "Figure5" ~iterations:8
+  |> B.kernel "f5_a" ~contexts:96 ~cycles:200 (* paper cluster 1 *)
+  |> B.kernel "f5_b" ~contexts:96 ~cycles:200 (* paper cluster 2 *)
+  |> B.kernel "k1" ~contexts:96 ~cycles:200 (* paper cluster 3 ... *)
+  |> B.kernel "k2" ~contexts:96 ~cycles:200
+  |> B.kernel "k3" ~contexts:96 ~cycles:200
+  |> B.kernel "f5_d" ~contexts:96 ~cycles:200 (* paper cluster 4 *)
+  |> B.kernel "f5_e" ~contexts:96 ~cycles:200 (* paper cluster 5 *)
+  |> B.kernel "f5_f" ~contexts:96 ~cycles:200 (* paper cluster 6 *)
+  |> B.kernel "f5_g" ~contexts:96 ~cycles:200 (* paper cluster 7 *)
+  |> B.input "D13" ~size:48 ~consumers:[ "f5_a"; "k1" ]
+  |> B.input "D37" ~size:64 ~consumers:[ "k1"; "f5_g" ]
+  |> B.input "d1" ~size:40 ~consumers:[ "k1"; "k3" ]
+  |> B.input "d2" ~size:40 ~consumers:[ "k2" ]
+  |> B.result "r13" ~size:48 ~producer:"k1" ~consumers:[ "k3" ]
+  |> B.result "r23" ~size:32 ~producer:"k2" ~consumers:[ "k3" ]
+  |> B.result "R3_5" ~size:56 ~producer:"k3" ~consumers:[ "f5_e" ]
+  |> B.final "Rout" ~size:48 ~producer:"k3"
+  |> B.input "f5_dx" ~size:32 ~consumers:[ "f5_b" ]
+  |> B.final "f5_ox" ~size:24 ~producer:"f5_b"
+  |> B.final "f5_oa" ~size:24 ~producer:"f5_a"
+  |> B.final "f5_od" ~size:24 ~producer:"f5_d"
+  |> B.final "f5_oe" ~size:24 ~producer:"f5_e"
+  |> B.final "f5_of" ~size:24 ~producer:"f5_f"
+  |> B.final "f5_og" ~size:24 ~producer:"f5_g"
+  |> B.build
+
+let figure5_clustering app =
+  Cluster.of_partition app [ 1; 1; 3; 1; 1; 1; 1 ]
+
+let figure5_focus_cluster = 2
+
+(* Figure 3 — the kernel-scheduling graph used to illustrate loop fission:
+   a plain three-kernel chain. *)
+let figure3 () =
+  B.create "Figure3" ~iterations:12
+  |> B.kernel "k1" ~contexts:128 ~cycles:300
+  |> B.kernel "k2" ~contexts:128 ~cycles:300
+  |> B.kernel "k3" ~contexts:128 ~cycles:300
+  |> B.input "a" ~size:64 ~consumers:[ "k1" ]
+  |> B.result "t1" ~size:64 ~producer:"k1" ~consumers:[ "k2" ]
+  |> B.result "t2" ~size:64 ~producer:"k2" ~consumers:[ "k3" ]
+  |> B.final "y" ~size:64 ~producer:"k3"
+  |> B.build
+
+(* Retention stress — ten singleton clusters; the even ones share FB set A.
+   Two candidates compete for the same retention budget with different
+   size/benefit profiles:
+   - rs_sH: 300 words, consumed by the outermost set-A clusters (k0, k8) —
+     it avoids 300 words/iteration but pins 300 words of pure overhead on
+     the middle set-A clusters (2, 4, 6);
+   - rs_sG: 200 words, consumed by k0, k4 and k8 — it avoids 400
+     words/iteration at only 200 words of overhead.
+   Under a tight frame buffer only one fits: the paper's TF order picks
+   rs_sG (more traffic avoided), a largest-first or declaration order picks
+   rs_sH. The ablation benchmark sweeps the FB size over the crossover. *)
+let retention_stress () =
+  let b = B.create "retention_stress" ~iterations:20 in
+  let b =
+    List.fold_left
+      (fun b i ->
+        let k = Printf.sprintf "rs_k%d" i in
+        let private_size = if i = 2 || i = 6 then 150 else 60 in
+        b
+        |> B.kernel k ~contexts:128 ~cycles:150
+        |> B.input (Printf.sprintf "rs_d%d" i) ~size:private_size
+             ~consumers:[ k ]
+        |> B.final (Printf.sprintf "rs_o%d" i) ~size:30 ~producer:k)
+      b
+      [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+  in
+  b
+  |> B.input "rs_sH" ~size:300 ~consumers:[ "rs_k0"; "rs_k8" ]
+  |> B.input "rs_sG" ~size:200 ~consumers:[ "rs_k0"; "rs_k4"; "rs_k8" ]
+  |> B.build
+
+let retention_stress_clustering app =
+  Cluster.of_partition app [ 1; 1; 1; 1; 1; 1; 1; 1; 1; 1 ]

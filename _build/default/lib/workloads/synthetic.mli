@@ -1,0 +1,47 @@
+(** The synthetic experiments of paper §6 (E1, E2, E3) plus the small
+    applications behind Figures 3 and 5.
+
+    The paper generated these by hand "to consider additional features that
+    are not present in the analyzed real applications"; the exact kernel
+    graphs were not published, so the ones here are reconstructed to match
+    the surviving Table 1 columns (RF at each FB size, DT, and the relative
+    ordering of the DS/CDS improvements) — see EXPERIMENTS.md.
+
+    - E1: no intermediate results at all; all reuse is inter-cluster shared
+      input data, so the Data Scheduler gains nothing at RF = 1 (its
+      improvement is exactly 0%, as in the paper's first row).
+    - E2: producer/consumer chains inside each cluster plus one shared
+      datum and one shared result between the two set-A clusters.
+    - E3: a deep 4-cluster pipeline with tiny data and heavy context
+      pressure, where loop fission reaches RF = 11 at a 3K frame buffer.
+    - Figure 5 app: seven clusters; cluster 3 (paper numbering) holds three
+      kernels with shared data D13/D37, private inputs d1/d2, intermediates
+      r13/r23, the retained shared result R3,5 and a final result Rout.
+    - Figure 3 app: a three-kernel chain used to draw the loop-fission
+      graph. *)
+
+val e1 : unit -> Kernel_ir.Application.t
+val e1_clustering : Kernel_ir.Application.t -> Kernel_ir.Cluster.clustering
+
+val e2 : unit -> Kernel_ir.Application.t
+val e2_clustering : Kernel_ir.Application.t -> Kernel_ir.Cluster.clustering
+
+val e3 : unit -> Kernel_ir.Application.t
+val e3_clustering : Kernel_ir.Application.t -> Kernel_ir.Cluster.clustering
+
+val figure5 : unit -> Kernel_ir.Application.t
+val figure5_clustering :
+  Kernel_ir.Application.t -> Kernel_ir.Cluster.clustering
+
+val figure5_focus_cluster : int
+(** Our id of the paper's "cluster 3" (the one Figure 5 traces). *)
+
+val figure3 : unit -> Kernel_ir.Application.t
+
+val retention_stress : unit -> Kernel_ir.Application.t
+(** Six singleton clusters with competing retention candidates of unequal
+    sizes and consumer counts — the workload behind the TF-ordering
+    ablation. *)
+
+val retention_stress_clustering :
+  Kernel_ir.Application.t -> Kernel_ir.Cluster.clustering

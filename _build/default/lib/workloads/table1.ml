@@ -1,0 +1,161 @@
+type paper_row = {
+  rf : int;
+  dt_kwords : float;
+  fb_kwords : float;
+  ds_pct : float;
+  cds_pct : float;
+  note : string;
+}
+
+type experiment = {
+  id : string;
+  app : Kernel_ir.Application.t;
+  clustering : Kernel_ir.Cluster.clustering;
+  config : Morphosys.Config.t;
+  paper : paper_row;
+}
+
+let kw k = int_of_float (k *. 1024.)
+
+let experiment id ~app ~clustering ~paper =
+  let config = Morphosys.Config.m1 ~fb_set_size:(kw paper.fb_kwords) in
+  { id; app; clustering = clustering app; config; paper }
+
+let all () =
+  let e1 = Synthetic.e1 () in
+  let e2 = Synthetic.e2 () in
+  let e3 = Synthetic.e3 () in
+  let mpeg = Mpeg.app () in
+  let sld = Atr.sld () in
+  let fi = Atr.fi () in
+  [
+    experiment "E1" ~app:e1 ~clustering:Synthetic.e1_clustering
+      ~paper:
+        {
+          rf = 1;
+          dt_kwords = 0.5;
+          fb_kwords = 1.;
+          ds_pct = 0.;
+          cds_pct = 19.;
+          note = "paper DT column unreadable in source; DT here is ours";
+        };
+    experiment "E1*" ~app:e1 ~clustering:Synthetic.e1_clustering
+      ~paper:
+        {
+          rf = 3;
+          dt_kwords = 0.5;
+          fb_kwords = 2.;
+          ds_pct = 38.;
+          cds_pct = 58.;
+          note = "same app as E1, 2K frame buffer";
+        };
+    experiment "E2" ~app:e2 ~clustering:Synthetic.e2_clustering
+      ~paper:
+        {
+          rf = 3;
+          dt_kwords = 0.8;
+          fb_kwords = 2.;
+          ds_pct = 44.;
+          cds_pct = 48.;
+          note = "";
+        };
+    experiment "E3" ~app:e3 ~clustering:Synthetic.e3_clustering
+      ~paper:
+        {
+          rf = 11;
+          dt_kwords = 0.6;
+          fb_kwords = 3.;
+          ds_pct = 67.;
+          cds_pct = 76.;
+          note = "";
+        };
+    experiment "MPEG" ~app:mpeg ~clustering:Mpeg.clustering
+      ~paper:
+        {
+          rf = 2;
+          dt_kwords = 0.1;
+          fb_kwords = 2.;
+          ds_pct = 30.;
+          cds_pct = 45.;
+          note = "Basic infeasible at FB=1K; DS/CDS run under 1K";
+        };
+    experiment "MPEG*" ~app:mpeg ~clustering:Mpeg.clustering
+      ~paper:
+        {
+          rf = 4;
+          dt_kwords = 0.1;
+          fb_kwords = 3.;
+          ds_pct = 35.;
+          cds_pct = 50.;
+          note = "same app as MPEG, 3K frame buffer";
+        };
+    experiment "ATR-SLD" ~app:sld ~clustering:Atr.sld_clustering
+      ~paper:
+        {
+          rf = 1;
+          dt_kwords = 6.;
+          fb_kwords = 8.;
+          ds_pct = 15.;
+          cds_pct = 32.;
+          note = "";
+        };
+    experiment "ATR-SLD*" ~app:sld ~clustering:Atr.sld_star_clustering
+      ~paper:
+        {
+          rf = 1;
+          dt_kwords = 8.;
+          fb_kwords = 8.;
+          ds_pct = 0.;
+          cds_pct = 60.;
+          note = "singleton clusters: all reuse is inter-cluster";
+        };
+    experiment "ATR-SLD**" ~app:sld ~clustering:Atr.sld_star2_clustering
+      ~paper:
+        {
+          rf = 1;
+          dt_kwords = 6.;
+          fb_kwords = 8.;
+          ds_pct = 13.;
+          cds_pct = 27.;
+          note = "third kernel schedule of the same application";
+        };
+    experiment "ATR-FI" ~app:fi ~clustering:Atr.fi_clustering
+      ~paper:
+        {
+          rf = 2;
+          dt_kwords = 0.3;
+          fb_kwords = 1.;
+          ds_pct = 26.;
+          cds_pct = 30.;
+          note = "";
+        };
+    experiment "ATR-FI*" ~app:fi ~clustering:Atr.fi_clustering
+      ~paper:
+        {
+          rf = 5;
+          dt_kwords = 0.3;
+          fb_kwords = 2.;
+          ds_pct = 35.;
+          cds_pct = 61.;
+          note =
+            "paper prints DS=61/CDS=35, contradicting its own CDS>=DS claim \
+             and Figure 6; treated as swapped";
+        };
+    experiment "ATR-FI**" ~app:fi ~clustering:Atr.fi_star2_clustering
+      ~paper:
+        {
+          rf = 2;
+          dt_kwords = 0.3;
+          fb_kwords = 1.;
+          ds_pct = 33.;
+          cds_pct = 37.;
+          note = "second kernel schedule of the same application";
+        };
+  ]
+
+let by_id id =
+  match List.find_opt (fun e -> e.id = id) (all ()) with
+  | Some e -> e
+  | None -> raise Not_found
+
+let ids () = List.map (fun e -> e.id) (all ())

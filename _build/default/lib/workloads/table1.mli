@@ -1,0 +1,30 @@
+(** The twelve experiments of the paper's Table 1, with the surviving paper
+    numbers for comparison. Each experiment fixes an application, a kernel
+    schedule (clustering) and a frame-buffer set size; starred variants
+    reuse the same application with a different FB size or clustering. *)
+
+type paper_row = {
+  rf : int;  (** paper's reuse factor *)
+  dt_kwords : float;  (** paper's data transfers avoided per iteration, K *)
+  fb_kwords : float;  (** paper's FB set size, K *)
+  ds_pct : float;  (** paper's Data Scheduler improvement over Basic, % *)
+  cds_pct : float;  (** paper's Complete Data Scheduler improvement, % *)
+  note : string;  (** reconstruction caveats for this row *)
+}
+
+type experiment = {
+  id : string;
+  app : Kernel_ir.Application.t;
+  clustering : Kernel_ir.Cluster.clustering;
+  config : Morphosys.Config.t;
+  paper : paper_row;
+}
+
+val all : unit -> experiment list
+(** The twelve rows in paper order: E1, E1*, E2, E3, MPEG, MPEG*, ATR-SLD,
+    ATR-SLD*, ATR-SLD**, ATR-FI, ATR-FI*, ATR-FI**. *)
+
+val by_id : string -> experiment
+(** @raise Not_found for an unknown id. *)
+
+val ids : unit -> string list

@@ -1,0 +1,1 @@
+test/test_allocation.ml: Alcotest Array Astring_contains Cds Fixtures Kernel_ir List Morphosys Printf QCheck QCheck_alcotest Sched Workloads

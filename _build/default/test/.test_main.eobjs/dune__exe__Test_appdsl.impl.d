@@ -1,0 +1,1 @@
+test/test_appdsl.ml: Alcotest Appdsl Array Astring_contains Cds Kernel_ir List Morphosys Printf QCheck QCheck_alcotest Result Workloads

@@ -1,0 +1,1 @@
+test/test_cds_units.ml: Alcotest Astring_contains Cds Fixtures Kernel_ir List Morphosys QCheck QCheck_alcotest Retention Sched Sharing Time_factor Workloads

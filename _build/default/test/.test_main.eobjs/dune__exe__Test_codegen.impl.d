@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Astring_contains Cds Codegen Fixtures Format List Morphosys Msim Msutil Printf QCheck QCheck_alcotest Sched Workloads

@@ -1,0 +1,1 @@
+test/test_ds_formula.ml: Alcotest Application Fixtures Info_extractor Kernel_ir List QCheck QCheck_alcotest Sched Workloads

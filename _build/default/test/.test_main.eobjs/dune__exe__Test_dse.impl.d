@@ -1,0 +1,1 @@
+test/test_dse.ml: Alcotest Astring_contains Fixtures List Option Report String Workloads

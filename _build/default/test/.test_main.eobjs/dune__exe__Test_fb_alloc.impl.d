@@ -1,0 +1,1 @@
+test/test_fb_alloc.ml: Alcotest Array Astring_contains Fb_alloc Frag_stats Free_list Layout List Msutil QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_info_extractor.ml: Alcotest Application Cluster Data Fixtures Info_extractor Kernel_ir List QCheck QCheck_alcotest Workloads

@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Format Interval Msutil QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_invariant.ml: Alcotest Appdsl Array Cds Codegen Kernel_ir List Morphosys Msim Msutil Sched String

@@ -1,0 +1,1 @@
+test/test_kernel_ir.ml: Alcotest Application Astring_contains Builder Cluster Data Dot Fixtures Kernel Kernel_ir List Morphosys Result

@@ -1,0 +1,1 @@
+test/test_listx.ml: Alcotest List Listx Msutil QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_misc_coverage.ml: Alcotest Appdsl Astring_contains Cds Codegen Fixtures Format Kernel_ir List Morphosys Msim Result Sched Workloads

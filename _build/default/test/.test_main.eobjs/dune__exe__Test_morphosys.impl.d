@@ -1,0 +1,1 @@
+test/test_morphosys.ml: Alcotest Array Astring_contains Config Context_memory Dma Format Frame_buffer List Machine Morphosys Msutil Rc_array

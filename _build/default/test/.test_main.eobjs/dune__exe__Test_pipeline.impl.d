@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Cds Fixtures Kernel_ir Morphosys Msim Result

@@ -1,0 +1,1 @@
+test/test_pretty.ml: Alcotest Astring_contains Format Msutil Pretty

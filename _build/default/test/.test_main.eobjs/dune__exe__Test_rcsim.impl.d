@@ -1,0 +1,1 @@
+test/test_rcsim.ml: Alcotest Array Format Kernel_ir List Morphosys Printf QCheck QCheck_alcotest Rcsim

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Astring_contains Cds Codegen Fixtures Lazy List Morphosys Msim Option Report Result String Workloads

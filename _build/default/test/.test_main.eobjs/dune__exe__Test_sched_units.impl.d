@@ -1,0 +1,1 @@
+test/test_sched_units.ml: Alcotest Fixtures Kernel_ir List Morphosys Msutil QCheck QCheck_alcotest Result Sched Workloads

@@ -1,0 +1,1 @@
+test/test_schedulers.ml: Alcotest Cds Fixtures Kernel_ir List Morphosys Msim QCheck QCheck_alcotest Result Sched Workloads

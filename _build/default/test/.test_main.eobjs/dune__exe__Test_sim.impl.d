@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Astring_contains Fixtures Format Kernel_ir List Morphosys Msim Sched

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array List Msutil QCheck QCheck_alcotest Stats

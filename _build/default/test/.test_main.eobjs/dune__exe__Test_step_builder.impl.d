@@ -1,0 +1,1 @@
+test/test_step_builder.ml: Alcotest Cds Fixtures Kernel_ir List Morphosys Msim Msutil QCheck QCheck_alcotest Result Sched Workloads

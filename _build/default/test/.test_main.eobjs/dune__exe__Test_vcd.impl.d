@@ -1,0 +1,1 @@
+test/test_vcd.ml: Alcotest Astring_contains Fixtures List Msim Msutil Sched String

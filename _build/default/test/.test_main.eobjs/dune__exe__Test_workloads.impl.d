@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Cds Kernel_ir List Morphosys Printf QCheck Random Result Sched Workloads

@@ -1,0 +1,13 @@
+(* Tiny substring helper shared by the test modules (keeps the suite free of
+   extra dependencies). *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  if nn = 0 then true
+  else
+    let rec loop i =
+      if i + nn > nh then false
+      else if String.sub haystack i nn = needle then true
+      else loop (i + 1)
+    in
+    loop 0

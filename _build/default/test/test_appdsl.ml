@@ -1,0 +1,131 @@
+(* The textual application format: parsing, error reporting, render
+   round-trip, and end-to-end scheduling of a parsed spec. *)
+
+let sample =
+  {|# a small pipeline
+app demo iterations 16
+
+kernel iq   contexts 384 cycles 520
+kernel idct contexts 384 cycles 560
+
+input  coeff   size 256 -> iq
+input  hdr     size 56  -> iq idct
+result dequant size 320 from iq -> idct
+result half    size 64  from iq -> idct final
+final  out     size 256 from idct
+
+partition 1 1
+fb 2048
+cm 4096
+|}
+
+let parse_ok text =
+  match Appdsl.parse text with
+  | Ok spec -> spec
+  | Error e -> Alcotest.fail e
+
+let test_parse_sample () =
+  let spec = parse_ok sample in
+  let app = spec.Appdsl.app in
+  Alcotest.(check string) "name" "demo" app.Kernel_ir.Application.name;
+  Alcotest.(check int) "iterations" 16 app.Kernel_ir.Application.iterations;
+  Alcotest.(check int) "kernels" 2 (Kernel_ir.Application.n_kernels app);
+  Alcotest.(check int) "data objects" 5 (List.length app.Kernel_ir.Application.data);
+  let half = Kernel_ir.Application.data_by_name app "half" in
+  Alcotest.(check bool) "result can be final too" true half.Kernel_ir.Data.final;
+  Alcotest.(check bool) "and still consumed" true
+    (half.Kernel_ir.Data.consumers <> []);
+  Alcotest.(check (option (list int))) "partition" (Some [ 1; 1 ])
+    spec.Appdsl.partition;
+  let config = Appdsl.config spec in
+  Alcotest.(check int) "fb" 2048 config.Morphosys.Config.fb_set_size;
+  Alcotest.(check int) "cm" 4096 config.Morphosys.Config.cm_capacity
+
+let test_parse_errors () =
+  let expect_error fragment text =
+    match Appdsl.parse text with
+    | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error %S mentions %S" msg fragment)
+        true
+        (Astring_contains.contains msg fragment)
+    | Ok _ -> Alcotest.fail ("expected parse failure for: " ^ text)
+  in
+  expect_error "app" "kernel k contexts 1 cycles 1";
+  expect_error "line 2" "app a iterations 4\nbogus directive";
+  expect_error "integer" "app a iterations many";
+  expect_error "consumer" "app a iterations 1\nkernel k contexts 1 cycles 1\ninput d size 4 ->";
+  expect_error "duplicate" "app a iterations 1\napp b iterations 2";
+  expect_error "'->'" "app a iterations 1\nkernel k contexts 1 cycles 1\ninput d size 4 k";
+  (* IR-level validation surfaces too: unknown kernel name *)
+  expect_error "unknown kernel"
+    "app a iterations 1\nkernel k contexts 1 cycles 1\ninput d size 4 -> ghost"
+
+let test_round_trip () =
+  let spec = parse_ok sample in
+  let spec2 = parse_ok (Appdsl.render spec) in
+  Alcotest.(check string) "same app name" spec.Appdsl.app.Kernel_ir.Application.name
+    spec2.Appdsl.app.Kernel_ir.Application.name;
+  Alcotest.(check int) "same data count"
+    (List.length spec.Appdsl.app.Kernel_ir.Application.data)
+    (List.length spec2.Appdsl.app.Kernel_ir.Application.data);
+  Alcotest.(check (option (list int))) "same partition" spec.Appdsl.partition
+    spec2.Appdsl.partition;
+  List.iter2
+    (fun (a : Kernel_ir.Data.t) (b : Kernel_ir.Data.t) ->
+      Alcotest.(check bool) "same data object" true (Kernel_ir.Data.equal a b))
+    spec.Appdsl.app.Kernel_ir.Application.data
+    spec2.Appdsl.app.Kernel_ir.Application.data
+
+let test_schedule_parsed_spec () =
+  let spec = parse_ok sample in
+  let config = Appdsl.config spec in
+  let clustering = Appdsl.clustering spec in
+  let c = Cds.Pipeline.run config spec.Appdsl.app clustering in
+  Alcotest.(check bool) "cds feasible" true (Result.is_ok c.Cds.Pipeline.cds);
+  match Cds.Pipeline.improvement c `Cds with
+  | Some pct -> Alcotest.(check bool) "non-negative improvement" true (pct >= 0.)
+  | None -> Alcotest.fail "no improvement computed"
+
+let test_defaults () =
+  let spec = parse_ok "app a iterations 2\nkernel k contexts 4 cycles 5\ninput d size 4 -> k\nfinal o size 4 from k" in
+  Alcotest.(check int) "default fb" 512
+    (Appdsl.config ~default_fb:512 spec).Morphosys.Config.fb_set_size;
+  Alcotest.(check int) "singleton clustering" 1
+    (Kernel_ir.Cluster.n_clusters (Appdsl.clustering spec))
+
+(* round-trip property over random applications: render a spec from any
+   random app, reparse, compare the IR piecewise *)
+let prop_render_parse_round_trip =
+  QCheck.Test.make ~name:"render/parse round-trips random apps" ~count:100
+    Workloads.Random_app.arb_app_with_clustering (fun (app, clustering) ->
+      let spec =
+        {
+          Appdsl.app;
+          partition = Some (Kernel_ir.Cluster.partition_sizes clustering);
+          fb_set_size = Some 4096;
+          cm_capacity = None;
+        }
+      in
+      match Appdsl.parse (Appdsl.render spec) with
+      | Error _ -> false
+      | Ok spec2 ->
+        let a = spec.Appdsl.app and b = spec2.Appdsl.app in
+        a.Kernel_ir.Application.name = b.Kernel_ir.Application.name
+        && a.Kernel_ir.Application.iterations = b.Kernel_ir.Application.iterations
+        && Array.for_all2 Kernel_ir.Kernel.equal a.Kernel_ir.Application.kernels
+             b.Kernel_ir.Application.kernels
+        && List.for_all2 Kernel_ir.Data.equal a.Kernel_ir.Application.data
+             b.Kernel_ir.Application.data
+        && spec2.Appdsl.partition = spec.Appdsl.partition)
+
+let tests =
+  ( "appdsl",
+    [
+      Alcotest.test_case "parse sample" `Quick test_parse_sample;
+      Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      Alcotest.test_case "round trip" `Quick test_round_trip;
+      Alcotest.test_case "schedule parsed spec" `Quick test_schedule_parsed_spec;
+      Alcotest.test_case "defaults" `Quick test_defaults;
+      QCheck_alcotest.to_alcotest prop_render_parse_round_trip;
+    ] )

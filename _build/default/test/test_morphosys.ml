@@ -1,0 +1,167 @@
+open Morphosys
+module Interval = Msutil.Interval
+
+let iv lo hi = Interval.make ~lo ~hi
+
+(* -- Config ---------------------------------------------------------- *)
+
+let test_config_m1 () =
+  let c = Config.m1 ~fb_set_size:2048 in
+  Alcotest.(check int) "fb" 2048 c.Config.fb_set_size;
+  Alcotest.(check int) "cells" 64 (Config.rc_count c);
+  Alcotest.(check bool) "valid" true (Config.validate c = Ok ())
+
+let test_config_validation () =
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid (fun () -> Config.make ~fb_set_size:0 ());
+  expect_invalid (fun () -> Config.make ~fb_set_size:1024 ~cm_capacity:(-1) ());
+  expect_invalid (fun () ->
+      Config.make ~fb_set_size:1024 ~data_cycles_per_word:0 ());
+  expect_invalid (fun () -> Config.make ~fb_set_size:1024 ~array_rows:0 ())
+
+(* -- Frame buffer ---------------------------------------------------- *)
+
+let fb () = Frame_buffer.create (Config.m1 ~fb_set_size:64)
+
+let test_fb_place_evict () =
+  let t = fb () in
+  Frame_buffer.place t ~set:Frame_buffer.Set_a ~label:"x" [ iv 0 10 ];
+  Alcotest.(check bool) "resident" true
+    (Frame_buffer.resident t ~set:Frame_buffer.Set_a ~label:"x");
+  Alcotest.(check bool) "other set empty" false
+    (Frame_buffer.resident t ~set:Frame_buffer.Set_b ~label:"x");
+  Alcotest.(check int) "used" 10
+    (Frame_buffer.used_words t ~set:Frame_buffer.Set_a);
+  Alcotest.(check int) "free" 54
+    (Frame_buffer.free_words t ~set:Frame_buffer.Set_a);
+  Frame_buffer.evict t ~set:Frame_buffer.Set_a ~label:"x";
+  Alcotest.(check bool) "gone" false
+    (Frame_buffer.resident t ~set:Frame_buffer.Set_a ~label:"x")
+
+let test_fb_errors () =
+  let t = fb () in
+  Frame_buffer.place t ~set:Frame_buffer.Set_a ~label:"x" [ iv 0 10 ];
+  (match
+     Frame_buffer.place t ~set:Frame_buffer.Set_a ~label:"y" [ iv 5 15 ]
+   with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected overlap rejection");
+  (match
+     Frame_buffer.place t ~set:Frame_buffer.Set_a ~label:"z" [ iv 60 70 ]
+   with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected bounds rejection");
+  (match Frame_buffer.place t ~set:Frame_buffer.Set_a ~label:"x" [ iv 20 22 ] with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected duplicate rejection");
+  (match Frame_buffer.evict t ~set:Frame_buffer.Set_b ~label:"x" with
+  | exception Not_found -> ()
+  | () -> Alcotest.fail "expected Not_found")
+
+let test_fb_occupancy () =
+  let t = fb () in
+  Frame_buffer.place t ~set:Frame_buffer.Set_a ~label:"x" [ iv 2 4 ];
+  let map = Frame_buffer.occupancy_map t ~set:Frame_buffer.Set_a in
+  Alcotest.(check (option string)) "cell 2" (Some "x") map.(2);
+  Alcotest.(check (option string)) "cell 4 empty" None map.(4);
+  Frame_buffer.clear_set t ~set:Frame_buffer.Set_a;
+  Alcotest.(check int) "cleared" 0
+    (Frame_buffer.used_words t ~set:Frame_buffer.Set_a)
+
+let test_fb_split_placement () =
+  let t = fb () in
+  Frame_buffer.place t ~set:Frame_buffer.Set_a ~label:"s" [ iv 0 4; iv 10 14 ];
+  Alcotest.(check int) "split used" 8
+    (Frame_buffer.used_words t ~set:Frame_buffer.Set_a);
+  Alcotest.(check int) "intervals" 2
+    (List.length (Frame_buffer.intervals_of t ~set:Frame_buffer.Set_a ~label:"s"))
+
+(* -- Context memory --------------------------------------------------- *)
+
+let test_cm () =
+  let cm = Context_memory.create (Config.make ~fb_set_size:64 ~cm_capacity:100 ()) in
+  Context_memory.load cm ~kernel:"k1" ~words:60;
+  Alcotest.(check bool) "resident" true (Context_memory.resident cm ~kernel:"k1");
+  Alcotest.(check int) "free" 40 (Context_memory.free_words cm);
+  (* reloading is a no-op *)
+  Context_memory.load cm ~kernel:"k1" ~words:60;
+  Alcotest.(check int) "still 40 free" 40 (Context_memory.free_words cm);
+  (match Context_memory.load cm ~kernel:"k2" ~words:50 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected capacity rejection");
+  Context_memory.load cm ~kernel:"k2" ~words:40;
+  Alcotest.(check int) "full" 0 (Context_memory.free_words cm);
+  Context_memory.evict cm ~kernel:"k1";
+  Alcotest.(check int) "evicted" 60 (Context_memory.free_words cm);
+  (match Context_memory.evict cm ~kernel:"k1" with
+  | exception Not_found -> ()
+  | () -> Alcotest.fail "expected Not_found");
+  Alcotest.(check (list (pair string int))) "residents" [ ("k2", 40) ]
+    (Context_memory.residents cm)
+
+(* -- DMA --------------------------------------------------------------- *)
+
+let test_dma_cost () =
+  let c = Config.make ~fb_set_size:64 ~data_cycles_per_word:2
+      ~context_cycles_per_word:3 () in
+  let load = Dma.data_load ~set:Frame_buffer.Set_a ~label:"d" ~words:10 in
+  let store = Dma.data_store ~set:Frame_buffer.Set_b ~label:"r" ~words:5 in
+  let ctx = Dma.context_load ~kernel:"k" ~words:4 in
+  Alcotest.(check int) "load cost" 20 (Dma.cost c load);
+  Alcotest.(check int) "store cost" 10 (Dma.cost c store);
+  Alcotest.(check int) "ctx cost" 12 (Dma.cost c ctx);
+  Alcotest.(check int) "total serial" 42 (Dma.total_cost c [ load; store; ctx ]);
+  Alcotest.(check int) "data words" 15
+    (Dma.words_of_kind Dma.is_data [ load; store; ctx ]);
+  Alcotest.(check int) "ctx words" 4
+    (Dma.words_of_kind Dma.is_context [ load; store; ctx ]);
+  match Dma.data_load ~set:Frame_buffer.Set_a ~label:"bad" ~words:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected words validation"
+
+(* -- RC array ----------------------------------------------------------- *)
+
+let test_rc_array () =
+  let c = Config.m1 ~fb_set_size:64 in
+  Alcotest.(check int) "cycles of ops" 2
+    (Rc_array.cycles_of_ops c ~efficiency:1.0 ~ops:128 ());
+  Alcotest.(check int) "at least one cycle" 1
+    (Rc_array.cycles_of_ops c ~ops:1 ());
+  Alcotest.(check int) "reconfigure row-parallel" 12
+    (Rc_array.reconfigure_cycles c ~contexts:96);
+  (match Rc_array.cycles_of_ops c ~ops:(-1) () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative ops");
+  match Rc_array.cycles_of_ops c ~efficiency:1.5 ~ops:10 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad efficiency"
+
+let test_machine () =
+  let m = Machine.create (Config.m1 ~fb_set_size:64) in
+  Frame_buffer.place m.Machine.frame_buffer ~set:Frame_buffer.Set_a ~label:"x"
+    [ iv 0 8 ];
+  let m2 = Machine.reset m in
+  Alcotest.(check int) "reset clears FB" 0
+    (Frame_buffer.used_words m2.Machine.frame_buffer ~set:Frame_buffer.Set_a);
+  let summary = Format.asprintf "%a" Machine.pp_summary m in
+  Alcotest.(check bool) "summary mentions FB" true
+    (Astring_contains.contains summary "FB")
+
+let tests =
+  ( "morphosys",
+    [
+      Alcotest.test_case "config m1" `Quick test_config_m1;
+      Alcotest.test_case "config validation" `Quick test_config_validation;
+      Alcotest.test_case "fb place/evict" `Quick test_fb_place_evict;
+      Alcotest.test_case "fb errors" `Quick test_fb_errors;
+      Alcotest.test_case "fb occupancy" `Quick test_fb_occupancy;
+      Alcotest.test_case "fb split placement" `Quick test_fb_split_placement;
+      Alcotest.test_case "context memory" `Quick test_cm;
+      Alcotest.test_case "dma cost model" `Quick test_dma_cost;
+      Alcotest.test_case "rc array timing" `Quick test_rc_array;
+      Alcotest.test_case "machine bundle" `Quick test_machine;
+    ] )

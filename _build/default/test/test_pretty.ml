@@ -1,0 +1,37 @@
+open Msutil
+
+let test_kbytes () =
+  Alcotest.(check string) "sub-K" "768" (Pretty.kbytes 768);
+  Alcotest.(check string) "exact K" "2K" (Pretty.kbytes 2048);
+  Alcotest.(check string) "fraction" "1.5K" (Pretty.kbytes 1536)
+
+let test_pct () =
+  Alcotest.(check string) "pct rounds" "45%" (Pretty.pct 45.4);
+  Alcotest.(check string) "pct zero" "0%" (Pretty.pct 0.)
+
+let test_table () =
+  let out =
+    Format.asprintf "%t" (fun fmt ->
+        Pretty.table ~header:[ "a"; "bb" ] ~rows:[ [ "x"; "y" ] ] fmt)
+  in
+  Alcotest.(check bool) "contains header" true
+    (Astring_contains.contains out "a");
+  Alcotest.(check bool) "contains rule" true (Astring_contains.contains out "---");
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Pretty.table: row arity mismatch") (fun () ->
+      Pretty.table ~header:[ "a" ] ~rows:[ [ "x"; "y" ] ] Format.str_formatter)
+
+let test_bar () =
+  Alcotest.(check string) "full" "##########" (Pretty.bar ~width:10 10. 10.);
+  Alcotest.(check string) "half" "#####" (Pretty.bar ~width:10 5. 10.);
+  Alcotest.(check string) "zero max" "" (Pretty.bar ~width:10 5. 0.);
+  Alcotest.(check string) "clamped" "##########" (Pretty.bar ~width:10 20. 10.)
+
+let tests =
+  ( "pretty",
+    [
+      Alcotest.test_case "kbytes" `Quick test_kbytes;
+      Alcotest.test_case "pct" `Quick test_pct;
+      Alcotest.test_case "table" `Quick test_table;
+      Alcotest.test_case "bar" `Quick test_bar;
+    ] )

@@ -1,0 +1,439 @@
+(* The RC-array functional simulator: context encoding, cell/array
+   semantics, and every library kernel against its reference model. *)
+
+module C = Rcsim.Context
+module A = Rcsim.Array_sim
+
+let config = Morphosys.Config.m1 ~fb_set_size:1024
+
+let check_arr = Alcotest.(check (array int))
+
+(* -- context encoding --------------------------------------------------- *)
+
+let test_context_make_validation () =
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid (fun () -> C.make C.Add (C.Reg 4) (C.Reg 0) ~dst:0);
+  expect_invalid (fun () -> C.make C.Add (C.Imm 3) (C.Reg 0) ~dst:0);
+  expect_invalid (fun () -> C.make C.Add (C.Reg 0) (C.Imm 4000) ~dst:0);
+  expect_invalid (fun () -> C.make C.Add (C.Reg 0) (C.Reg 0) ~dst:7)
+
+let test_context_round_trip_hand () =
+  let cases =
+    [
+      C.make C.Add (C.Reg 1) (C.Imm (-7)) ~dst:2;
+      C.make ~fb_write:true C.Mac C.Fb_port (C.Imm 2047) ~dst:1;
+      C.make C.Abs_diff C.North C.East ~dst:3;
+      C.make C.Pass_a C.West (C.Reg 3) ~dst:0;
+      C.make C.Shr (C.Reg 2) (C.Imm (-2048)) ~dst:3;
+    ]
+  in
+  List.iter
+    (fun ctx ->
+      match C.decode (C.encode ctx) with
+      | Ok decoded ->
+        Alcotest.(check bool)
+          (Format.asprintf "%a" C.pp ctx)
+          true (C.equal ctx decoded)
+      | Error e -> Alcotest.fail e)
+    cases
+
+let test_context_decode_rejects () =
+  (* opcode 15 is unused *)
+  match C.decode 15l with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad opcode accepted"
+
+let gen_context =
+  let open QCheck.Gen in
+  let gen_src ~allow_imm =
+    let base =
+      [ map (fun r -> C.Reg r) (int_range 0 3);
+        pure C.North; pure C.South; pure C.East; pure C.West; pure C.Fb_port ]
+    in
+    let choices =
+      if allow_imm then map (fun v -> C.Imm v) (int_range (-2048) 2047) :: base
+      else base
+    in
+    oneof choices
+  in
+  let* op =
+    oneofl
+      [ C.Add; C.Sub; C.Mul; C.Mac; C.Band; C.Bor; C.Bxor; C.Shl; C.Shr;
+        C.Min; C.Max; C.Abs_diff; C.Pass_a ]
+  in
+  let* src_a = gen_src ~allow_imm:false in
+  let* src_b = gen_src ~allow_imm:true in
+  let* dst = int_range 0 3 in
+  let* fb_write = bool in
+  pure (C.make ~fb_write op src_a src_b ~dst)
+
+let prop_context_round_trip =
+  QCheck.Test.make ~name:"context words encode/decode round-trip" ~count:500
+    (QCheck.make ~print:(Format.asprintf "%a" C.pp) gen_context) (fun ctx ->
+      match C.decode (C.encode ctx) with
+      | Ok decoded -> C.equal ctx decoded
+      | Error _ -> false)
+
+(* -- array semantics ------------------------------------------------------ *)
+
+let test_row_selection_isolated () =
+  let arr = A.create config in
+  let step =
+    {
+      A.context = C.make C.Pass_a C.Fb_port (C.Reg 0) ~dst:0;
+      selector = A.Row 2;
+      fb_in = Some (Array.init 8 (fun c -> 100 + c));
+    }
+  in
+  ignore (A.step arr step);
+  Alcotest.(check int) "selected row loaded" 103 (A.reg arr ~row:2 ~col:3 0);
+  Alcotest.(check int) "other rows untouched" 0 (A.reg arr ~row:1 ~col:3 0)
+
+let test_neighbour_reads_synchronous () =
+  let arr = A.create config in
+  (* set every cell's output to its column index *)
+  ignore
+    (A.step arr
+       {
+         A.context = C.make C.Pass_a C.Fb_port (C.Reg 0) ~dst:0;
+         selector = A.All;
+         fb_in = Some (Array.init 8 (fun c -> c));
+       });
+  (* r1 <- east neighbour; all cells simultaneously: must read OLD outputs *)
+  ignore
+    (A.step arr
+       {
+         A.context = C.make C.Pass_a C.East (C.Reg 0) ~dst:1;
+         selector = A.All;
+         fb_in = None;
+       });
+  Alcotest.(check int) "east of column 2 is 3" 3 (A.reg arr ~row:4 ~col:2 1);
+  Alcotest.(check int) "array edge reads 0" 0 (A.reg arr ~row:4 ~col:7 1)
+
+let test_fb_write_needs_selection () =
+  let arr = A.create config in
+  match
+    A.step arr
+      {
+        A.context = C.make ~fb_write:true C.Pass_a (C.Reg 0) (C.Reg 0) ~dst:0;
+        selector = A.All;
+        fb_in = None;
+      }
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "fb_write with All must be rejected"
+
+let test_bad_fb_in_length () =
+  let arr = A.create config in
+  match
+    A.step arr
+      {
+        A.context = C.make C.Pass_a C.Fb_port (C.Reg 0) ~dst:0;
+        selector = A.Row 0;
+        fb_in = Some [| 1; 2 |];
+      }
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "short fb_in must be rejected"
+
+let test_mac_accumulates () =
+  Alcotest.(check int) "alu mac" 23 (Rcsim.Cell.alu C.Mac ~acc:3 4 5);
+  Alcotest.(check int) "alu absd" 7 (Rcsim.Cell.alu C.Abs_diff ~acc:0 2 9);
+  Alcotest.(check int) "alu shl" 24 (Rcsim.Cell.alu C.Shl ~acc:0 3 3);
+  Alcotest.(check int) "alu shr keeps sign" (-2)
+    (Rcsim.Cell.alu C.Shr ~acc:0 (-8) 2)
+
+(* -- kernels vs reference ------------------------------------------------- *)
+
+let run_single program =
+  let arr = A.create config in
+  match A.run arr program with
+  | [ out ] -> out
+  | outs ->
+    Alcotest.fail (Printf.sprintf "expected one output row, got %d" (List.length outs))
+
+let test_vector_add () =
+  let a = Array.init 8 (fun i -> i * 3) and b = Array.init 8 (fun i -> 100 - i) in
+  check_arr "vector add" (Rcsim.Kernels.vector_add_ref ~a ~b)
+    (run_single (Rcsim.Kernels.vector_add ~a ~b))
+
+let test_saxpy () =
+  let x = Array.init 8 (fun i -> i - 4) and y = Array.init 8 (fun i -> i * i) in
+  check_arr "saxpy" (Rcsim.Kernels.saxpy_ref ~alpha:7 ~x ~y)
+    (run_single (Rcsim.Kernels.saxpy ~alpha:7 ~x ~y))
+
+let test_fir () =
+  let taps = [ 2; -1; 4; 3 ] in
+  let xs = Array.init 11 (fun i -> (i * i) - (3 * i) + 1) in
+  check_arr "fir" (Rcsim.Kernels.fir_ref ~taps ~xs)
+    (run_single (Rcsim.Kernels.fir ~taps ~xs))
+
+let test_sad () =
+  let a = Array.init 8 (fun r -> Array.init 8 (fun c -> (r * c) mod 17) ) in
+  let b = Array.init 8 (fun r -> Array.init 8 (fun c -> ((r + c) * 5) mod 23)) in
+  check_arr "sad rows" (Rcsim.Kernels.sad_rows_ref ~a ~b)
+    (run_single (Rcsim.Kernels.sad_rows ~a ~b))
+
+let test_dct8 () =
+  let x = [| 12; -3; 45; 7; -20; 0; 33; 9 |] in
+  check_arr "dct8" (Rcsim.Kernels.dct8_ref ~x)
+    (run_single (Rcsim.Kernels.dct8 ~x));
+  (* DC coefficient sanity: dct[0] = round(128/ (2 sqrt 2)) * sum approx *)
+  let flat = Array.make 8 10 in
+  let y = run_single (Rcsim.Kernels.dct8 ~x:flat) in
+  Alcotest.(check bool) "AC terms of a flat signal vanish" true
+    (Array.for_all (fun v -> abs v <= 8) (Array.sub y 1 7))
+
+let prop_vector_add_random =
+  QCheck.Test.make ~name:"vector add matches reference" ~count:100
+    QCheck.(pair (array_of_size (QCheck.Gen.pure 8) (int_range (-1000) 1000))
+              (array_of_size (QCheck.Gen.pure 8) (int_range (-1000) 1000)))
+    (fun (a, b) ->
+      run_single (Rcsim.Kernels.vector_add ~a ~b)
+      = Rcsim.Kernels.vector_add_ref ~a ~b)
+
+let prop_sad_random =
+  let gen_tile =
+    QCheck.Gen.(
+      array_size (pure 8) (array_size (pure 8) (int_range 0 255)))
+  in
+  QCheck.Test.make ~name:"SAD matches reference" ~count:50
+    (QCheck.make (QCheck.Gen.pair gen_tile gen_tile)) (fun (a, b) ->
+      run_single (Rcsim.Kernels.sad_rows ~a ~b)
+      = Rcsim.Kernels.sad_rows_ref ~a ~b)
+
+let prop_dct_random =
+  QCheck.Test.make ~name:"DCT matches reference" ~count:50
+    QCheck.(array_of_size (QCheck.Gen.pure 8) (int_range (-128) 127))
+    (fun x ->
+      run_single (Rcsim.Kernels.dct8 ~x) = Rcsim.Kernels.dct8_ref ~x)
+
+(* -- kernel library -------------------------------------------------------- *)
+
+let test_library_demos_self_check () =
+  List.iter
+    (fun (e : Rcsim.Kernel_library.entry) ->
+      match e.Rcsim.Kernel_library.demo config with
+      | Some (got, expected) ->
+        Alcotest.(check int)
+          (e.Rcsim.Kernel_library.name ^ " output rows")
+          (List.length expected) (List.length got);
+        List.iter2
+          (fun g e' -> check_arr "demo matches reference" e' g)
+          got expected
+      | None -> Alcotest.fail (e.Rcsim.Kernel_library.name ^ ": no demo"))
+    Rcsim.Kernel_library.all
+
+let test_library_to_kernel () =
+  match Rcsim.Kernel_library.find "dct8" with
+  | None -> Alcotest.fail "dct8 missing"
+  | Some e ->
+    let k = Rcsim.Kernel_library.to_kernel config ~id:0 e in
+    Alcotest.(check string) "name" "dct8" k.Kernel_ir.Kernel.name;
+    Alcotest.(check int) "contexts" 18 k.Kernel_ir.Kernel.contexts;
+    Alcotest.(check bool) "cycles positive" true (k.Kernel_ir.Kernel.exec_cycles > 0)
+
+let test_library_context_counts_match_programs () =
+  (* the registered context_words must equal the actual program length *)
+  let check name program =
+    match Rcsim.Kernel_library.find name with
+    | None -> Alcotest.fail (name ^ " missing")
+    | Some e ->
+      Alcotest.(check int) (name ^ " context count")
+        (A.cycles program) e.Rcsim.Kernel_library.context_words
+  in
+  check "vector_add"
+    (Rcsim.Kernels.vector_add ~a:(Array.make 8 0) ~b:(Array.make 8 0));
+  check "saxpy" (Rcsim.Kernels.saxpy ~alpha:1 ~x:(Array.make 8 0) ~y:(Array.make 8 0));
+  check "fir4" (Rcsim.Kernels.fir ~taps:[ 1; 1; 1; 1 ] ~xs:(Array.make 11 0));
+  check "sad8x8"
+    (Rcsim.Kernels.sad_rows
+       ~a:(Array.make_matrix 8 8 0)
+       ~b:(Array.make_matrix 8 8 0));
+  check "dct8" (Rcsim.Kernels.dct8 ~x:(Array.make 8 0))
+
+let tests =
+  ( "rcsim",
+    [
+      Alcotest.test_case "context validation" `Quick test_context_make_validation;
+      Alcotest.test_case "context round trip" `Quick test_context_round_trip_hand;
+      Alcotest.test_case "context decode rejects" `Quick test_context_decode_rejects;
+      QCheck_alcotest.to_alcotest prop_context_round_trip;
+      Alcotest.test_case "row selection" `Quick test_row_selection_isolated;
+      Alcotest.test_case "synchronous neighbours" `Quick
+        test_neighbour_reads_synchronous;
+      Alcotest.test_case "fb_write needs selection" `Quick
+        test_fb_write_needs_selection;
+      Alcotest.test_case "fb_in length" `Quick test_bad_fb_in_length;
+      Alcotest.test_case "alu semantics" `Quick test_mac_accumulates;
+      Alcotest.test_case "vector add" `Quick test_vector_add;
+      Alcotest.test_case "saxpy" `Quick test_saxpy;
+      Alcotest.test_case "fir" `Quick test_fir;
+      Alcotest.test_case "sad" `Quick test_sad;
+      Alcotest.test_case "dct8" `Quick test_dct8;
+      QCheck_alcotest.to_alcotest prop_vector_add_random;
+      QCheck_alcotest.to_alcotest prop_sad_random;
+      QCheck_alcotest.to_alcotest prop_dct_random;
+      Alcotest.test_case "library demos self-check" `Quick
+        test_library_demos_self_check;
+      Alcotest.test_case "library to_kernel" `Quick test_library_to_kernel;
+      Alcotest.test_case "library context counts" `Quick
+        test_library_context_counts_match_programs;
+    ] )
+
+(* -- tile pipeline (2-D transform coding) -------------------------------- *)
+
+let sample_tile () =
+  Array.init 8 (fun r -> Array.init 8 (fun c -> 30 + (r * 8) + (c * 3) - ((r * c) mod 11)))
+
+let test_scale_tile () =
+  let arr = A.create config in
+  let factors = Array.init 8 (fun r -> Array.init 8 (fun c -> 1 + ((r + c) mod 5))) in
+  let x = sample_tile () in
+  match A.run arr (Rcsim.Kernels.scale_tile ~factors ~shift:2 ~x) with
+  | rows when List.length rows = 8 ->
+    let got = Array.of_list rows in
+    let expected = Rcsim.Kernels.scale_tile_ref ~factors ~shift:2 ~x in
+    Array.iteri (fun r row -> check_arr "scale row" expected.(r) row) got
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_dct2d_matches_ref () =
+  let arr = A.create config in
+  let tile = sample_tile () in
+  let got = Rcsim.Tile_pipeline.dct2d arr tile in
+  let expected = Rcsim.Tile_pipeline.dct2d_ref tile in
+  Alcotest.(check int) "array = reference" 0
+    (Rcsim.Tile_pipeline.max_abs_error got expected)
+
+let test_transform_roundtrip () =
+  let arr = A.create config in
+  let tile = sample_tile () in
+  let q = Rcsim.Tile_pipeline.flat_quant 4 in
+  let recon = Rcsim.Tile_pipeline.reconstruct arr ~q tile in
+  (* matches the pure-integer reference exactly *)
+  Alcotest.(check int) "array = reference" 0
+    (Rcsim.Tile_pipeline.max_abs_error recon
+       (Rcsim.Tile_pipeline.reconstruct_ref ~q tile));
+  (* and reconstructs the original within quantisation error *)
+  let err = Rcsim.Tile_pipeline.max_abs_error recon tile in
+  Alcotest.(check bool)
+    (Printf.sprintf "reconstruction error %d <= 12" err)
+    true (err <= 12)
+
+let test_idct_inverts_dct () =
+  let arr = A.create config in
+  let tile = sample_tile () in
+  let recon = Rcsim.Tile_pipeline.idct2d arr (Rcsim.Tile_pipeline.dct2d arr tile) in
+  let err = Rcsim.Tile_pipeline.max_abs_error recon tile in
+  Alcotest.(check bool)
+    (Printf.sprintf "idct(dct(x)) error %d <= 6" err)
+    true (err <= 6)
+
+let test_quant_validation () =
+  match Rcsim.Tile_pipeline.flat_quant 0 |> fun q ->
+        Rcsim.Tile_pipeline.quantise_ref ~q (sample_tile ())
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero quantiser must be rejected"
+
+let prop_roundtrip_error_bounded =
+  QCheck.Test.make ~name:"transform roundtrip error bounded" ~count:30
+    (QCheck.make
+       QCheck.Gen.(
+         array_size (pure 8) (array_size (pure 8) (int_range 0 255))))
+    (fun tile ->
+      let arr = A.create config in
+      let q = Rcsim.Tile_pipeline.flat_quant 4 in
+      let recon = Rcsim.Tile_pipeline.reconstruct arr ~q tile in
+      Rcsim.Tile_pipeline.max_abs_error recon tile <= 24)
+
+let tests =
+  ( fst tests,
+    snd tests
+    @ [
+        Alcotest.test_case "scale tile" `Quick test_scale_tile;
+        Alcotest.test_case "dct2d matches ref" `Quick test_dct2d_matches_ref;
+        Alcotest.test_case "transform roundtrip" `Quick test_transform_roundtrip;
+        Alcotest.test_case "idct inverts dct" `Quick test_idct_inverts_dct;
+        Alcotest.test_case "quantiser validation" `Quick test_quant_validation;
+        QCheck_alcotest.to_alcotest prop_roundtrip_error_bounded;
+      ] )
+
+(* -- motion estimation ----------------------------------------------------- *)
+
+let frame_of seed rows cols =
+  Array.init rows (fun r -> Array.init cols (fun c -> ((r * 31) + (c * 7) + seed) mod 251))
+
+let test_motion_finds_planted_vector () =
+  let reference = frame_of 3 24 24 in
+  (* the current block is an exact copy of the reference at (+2, -3) *)
+  let origin = (8, 8) in
+  let block = Rcsim.Motion.window reference ~row:10 ~col:5 in
+  let arr = A.create config in
+  let v = Rcsim.Motion.search arr ~reference ~block ~origin ~range:4 in
+  Alcotest.(check int) "dy" 2 v.Rcsim.Motion.dy;
+  Alcotest.(check int) "dx" (-3) v.Rcsim.Motion.dx;
+  Alcotest.(check int) "exact match" 0 v.Rcsim.Motion.sad
+
+let test_motion_matches_reference_model () =
+  let reference = frame_of 11 20 20 in
+  let block =
+    Array.init 8 (fun r -> Array.init 8 (fun c -> ((r * c) + 100) mod 255))
+  in
+  let arr = A.create config in
+  let got = Rcsim.Motion.search arr ~reference ~block ~origin:(6, 6) ~range:3 in
+  let expected = Rcsim.Motion.search_ref ~reference ~block ~origin:(6, 6) ~range:3 in
+  Alcotest.(check bool) "same vector" true (got = expected)
+
+let test_motion_respects_frame_bounds () =
+  let reference = frame_of 0 10 10 in
+  let block = Rcsim.Motion.window reference ~row:0 ~col:0 in
+  let arr = A.create config in
+  (* origin at the corner: only displacements into the frame are legal *)
+  let v = Rcsim.Motion.search arr ~reference ~block ~origin:(0, 0) ~range:4 in
+  Alcotest.(check bool) "legal dy" true (v.Rcsim.Motion.dy >= 0);
+  Alcotest.(check bool) "legal dx" true (v.Rcsim.Motion.dx >= 0);
+  Alcotest.(check int) "zero vector wins on identical content" 0
+    (abs v.Rcsim.Motion.dx + abs v.Rcsim.Motion.dy)
+
+let test_motion_validation () =
+  let reference = frame_of 0 10 10 in
+  let arr = A.create config in
+  (match Rcsim.Motion.window reference ~row:5 ~col:5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "window past the edge must be rejected");
+  match
+    Rcsim.Motion.search arr ~reference ~block:(Array.make_matrix 4 4 0)
+      ~origin:(0, 0) ~range:1
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-8x8 block must be rejected"
+
+let prop_motion_matches_ref =
+  QCheck.Test.make ~name:"motion search matches reference" ~count:15
+    (QCheck.make QCheck.Gen.(pair (int_range 0 200) (int_range 0 2)))
+    (fun (seed, range) ->
+      let reference = frame_of seed 18 18 in
+      let block = frame_of (seed + 5) 8 8 in
+      let arr = A.create config in
+      Rcsim.Motion.search arr ~reference ~block ~origin:(5, 5) ~range:(range + 1)
+      = Rcsim.Motion.search_ref ~reference ~block ~origin:(5, 5)
+          ~range:(range + 1))
+
+let tests =
+  ( fst tests,
+    snd tests
+    @ [
+        Alcotest.test_case "motion: planted vector" `Quick
+          test_motion_finds_planted_vector;
+        Alcotest.test_case "motion: matches reference" `Quick
+          test_motion_matches_reference_model;
+        Alcotest.test_case "motion: frame bounds" `Quick
+          test_motion_respects_frame_bounds;
+        Alcotest.test_case "motion: validation" `Quick test_motion_validation;
+        QCheck_alcotest.to_alcotest prop_motion_matches_ref;
+      ] )

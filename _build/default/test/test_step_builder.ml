@@ -1,0 +1,172 @@
+(* The step pipeline builder: overlap legality, wrap-around conflict stalls
+   with an odd cluster count, and the cost estimator's agreement with the
+   simulator. *)
+
+module Schedule = Sched.Schedule
+module Dma = Morphosys.Dma
+
+let config = Fixtures.default_config
+
+let test_even_cluster_count_has_no_stalls () =
+  let app = Fixtures.toy () in
+  let clustering = Fixtures.toy_clustering app in
+  match Sched.Data_scheduler.schedule config app clustering with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+    Alcotest.(check int) "no conflict stall steps" 0
+      (List.length
+         (List.filter
+            (fun (step : Schedule.step) ->
+              step.Schedule.note = "set conflict stall")
+            s.Schedule.steps))
+
+let test_odd_cluster_count_stalls_at_wraparound () =
+  (* three clusters: A B A — preparing next round's cluster 0 (set A) cannot
+     overlap cluster 2's computation (also set A). The FB is sized so RF=1,
+     forcing several rounds and thus wrap-arounds. *)
+  let app = Fixtures.same_set () in
+  let clustering = Fixtures.same_set_clustering app in
+  let config = Morphosys.Config.m1 ~fb_set_size:160 in
+  match Sched.Data_scheduler.schedule config app clustering with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+    let stalls =
+      List.filter
+        (fun (step : Schedule.step) ->
+          step.Schedule.note = "set conflict stall")
+        s.Schedule.steps
+    in
+    Alcotest.(check bool) "wrap-around stalls exist" true (stalls <> []);
+    (* stall steps are pure DMA *)
+    List.iter
+      (fun (step : Schedule.step) ->
+        Alcotest.(check bool) "no compute in stall" true
+          (step.Schedule.compute = None);
+        Alcotest.(check bool) "stall moves data" true (step.Schedule.dma <> []))
+      stalls;
+    (* and still everything validates *)
+    Msim.Validate.check_exn s
+
+let test_overlap_legality_in_all_steps () =
+  let app = Fixtures.same_set () in
+  let clustering = Fixtures.same_set_clustering app in
+  match Sched.Data_scheduler.schedule config app clustering with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+    List.iter
+      (fun (step : Schedule.step) ->
+        match step.Schedule.compute with
+        | None -> ()
+        | Some c ->
+          let cset = c.Schedule.cluster.Kernel_ir.Cluster.fb_set in
+          List.iter
+            (fun (tr : Dma.t) ->
+              match tr.Dma.kind with
+              | Dma.Data { set; _ } ->
+                Alcotest.(check bool) "no transfer touches computing set" true
+                  (set <> cset)
+              | Dma.Context -> ())
+            step.Schedule.dma)
+      s.Schedule.steps
+
+let test_rf_validation () =
+  let app = Fixtures.toy () in
+  let clustering = Fixtures.toy_clustering app in
+  match
+    Sched.Step_builder.build config app clustering ~rf:0
+      ~ctx_plan:
+        (Result.get_ok (Sched.Context_scheduler.plan config app clustering))
+      ~generators:(Sched.Xfer_gen.plain app clustering)
+      ~scheduler:"x"
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "rf 0 must be rejected"
+
+let test_xfer_gen_plain_vs_store_everything () =
+  let app = Fixtures.toy () in
+  let clustering = Fixtures.toy_clustering app in
+  let c0 = Kernel_ir.Cluster.find clustering 0 in
+  let plain = Sched.Xfer_gen.plain app clustering in
+  let all = Sched.Xfer_gen.store_everything app clustering in
+  let words gens =
+    Msutil.Listx.sum_by
+      (fun (tr : Dma.t) -> tr.Dma.words)
+      (gens.Sched.Step_builder.stores c0 ~round:0 ~iters:1 ~base_iter:0)
+  in
+  (* cluster 0 outliving = r03 + f1 = 55; plus intermediate r01 (40) when
+     storing everything *)
+  Alcotest.(check int) "plain stores outliving" 55 (words plain);
+  Alcotest.(check int) "basic stores everything" 95 (words all);
+  (* loads are identical *)
+  let load_words gens =
+    Msutil.Listx.sum_by
+      (fun (tr : Dma.t) -> tr.Dma.words)
+      (gens.Sched.Step_builder.loads c0 ~round:0 ~iters:2 ~base_iter:0)
+  in
+  Alcotest.(check int) "same loads" (load_words plain) (load_words all);
+  Alcotest.(check int) "two iterations of a+b" 300 (load_words plain)
+
+(* The scheduler-side cost estimate is exactly the simulator's total. *)
+let prop_cost_estimate_equals_executor =
+  QCheck.Test.make ~name:"Schedule_cost.estimate = Executor cycles" ~count:100
+    Workloads.Random_app.arb_app_with_clustering (fun (app, clustering) ->
+      let config = Fixtures.big_config in
+      let agree = function
+        | Ok (s : Schedule.t) ->
+          Sched.Schedule_cost.estimate config s
+          = (Msim.Executor.run config s).Msim.Metrics.total_cycles
+        | Error _ -> false
+      in
+      agree (Sched.Basic_scheduler.schedule config app clustering)
+      && agree (Sched.Data_scheduler.schedule config app clustering)
+      && agree
+           (Result.map
+              (fun r -> r.Cds.Complete_data_scheduler.schedule)
+              (Cds.Complete_data_scheduler.schedule config app clustering)))
+
+let test_context_partial_pinning () =
+  (* four singleton clusters with contexts 100/50/50/50 and a 240-word CM:
+     pinning the 100-word set leaves a 100-word rotation pair (fits), but
+     pinning any 50-word set on top would need 250 words *)
+  let app =
+    Kernel_ir.Builder.(
+      create "ctxmix" ~iterations:2
+      |> kernel "ka" ~contexts:100 ~cycles:50
+      |> kernel "kb" ~contexts:50 ~cycles:50
+      |> kernel "kc" ~contexts:50 ~cycles:50
+      |> kernel "kd" ~contexts:50 ~cycles:50
+      |> input "d" ~size:16 ~consumers:[ "ka"; "kb"; "kc"; "kd" ]
+      |> final "o" ~size:8 ~producer:"kd"
+      |> build)
+  in
+  let clustering = Kernel_ir.Cluster.singleton_per_kernel app in
+  let config = Morphosys.Config.make ~fb_set_size:1024 ~cm_capacity:240 () in
+  match Sched.Context_scheduler.plan config app clustering with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+    Alcotest.(check (list int)) "the big cluster is pinned" [ 0 ]
+      plan.Sched.Context_scheduler.pinned;
+    Alcotest.(check (list int)) "the rest reload" [ 1; 2; 3 ]
+      plan.Sched.Context_scheduler.reloaded;
+    let pinned_cluster = List.hd plan.Sched.Context_scheduler.pinned in
+    Alcotest.(check int) "pinned loads once" 0
+      (Sched.Context_scheduler.load_words_for_round plan ~app ~clustering
+         ~cluster:(Kernel_ir.Cluster.find clustering pinned_cluster)
+         ~round:2)
+
+let tests =
+  ( "step_builder",
+    [
+      Alcotest.test_case "even clusters: no stalls" `Quick
+        test_even_cluster_count_has_no_stalls;
+      Alcotest.test_case "odd clusters: wraparound stalls" `Quick
+        test_odd_cluster_count_stalls_at_wraparound;
+      Alcotest.test_case "overlap legality" `Quick
+        test_overlap_legality_in_all_steps;
+      Alcotest.test_case "rf validation" `Quick test_rf_validation;
+      Alcotest.test_case "xfer generators" `Quick
+        test_xfer_gen_plain_vs_store_everything;
+      QCheck_alcotest.to_alcotest prop_cost_estimate_equals_executor;
+      Alcotest.test_case "partial context pinning" `Quick
+        test_context_partial_pinning;
+    ] )
