@@ -1,12 +1,22 @@
-(* Benchmark harness: regenerates every table and figure of the paper's
-   evaluation (Table 1, Figure 6, Figure 5, Figure 3, the MPEG feasibility
-   and allocator-quality claims), runs the ablation study, and finishes
-   with bechamel microbenchmarks of the scheduler components.
+(* Benchmark harness. Each section can be run on its own:
 
-   Usage: dune exec bench/main.exe [-- --no-micro] *)
+     dune exec bench/main.exe                # everything
+     dune exec bench/main.exe -- --tables    # Table 1 / Figure 6 only
+     dune exec bench/main.exe -- --figures   # Figures 3 and 5, allocator
+     dune exec bench/main.exe -- --micro     # bechamel microbenchmarks
+     dune exec bench/main.exe -- --dse       # parallel/cached DSE engine
+     dune exec bench/main.exe -- --no-micro  # legacy: all but microbenches
+
+   Selector flags compose: `-- --tables --dse` runs exactly those two. *)
 
 let () =
-  let no_micro = Array.exists (fun a -> a = "--no-micro") Sys.argv in
-  let (_ : Report.Table_report.row list) = Report.Table_report.run () in
-  Report.Figure_report.run ();
-  if not no_micro then Micro_bench.run ()
+  let flag name = Array.exists (fun a -> a = name) Sys.argv in
+  let tables = flag "--tables" and figures = flag "--figures" in
+  let micro = flag "--micro" and dse = flag "--dse" in
+  let any_selected = tables || figures || micro || dse in
+  let all = not any_selected in
+  if all || tables then
+    ignore (Report.Table_report.run () : Report.Table_report.row list);
+  if all || figures then Report.Figure_report.run ();
+  if (all && not (flag "--no-micro")) || micro then Micro_bench.run ();
+  if all || dse then Dse_bench.run ()

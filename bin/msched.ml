@@ -7,7 +7,9 @@
      alloc     print the Figure 4 allocation trace of the CDS schedule
      dot       emit the kernel graph as Graphviz DOT
      table1    reproduce the paper's Table 1 + Figure 6
-     figures   reproduce Figures 3 and 5 and the allocator-quality table *)
+     figures   reproduce Figures 3 and 5 and the allocator-quality table
+     dse       parallel cached design-space exploration (--jobs/--cache/--stats)
+     fuzz      random-application differential fuzzing against the validator *)
 
 open Cmdliner
 
@@ -280,17 +282,40 @@ let dot_cmd =
     (Cmd.info "dot" ~doc:"Emit the kernel graph as Graphviz DOT")
     Term.(ret (const run $ workload_arg $ file_arg $ clustered_arg $ fission_arg))
 
+let fb_list_arg =
+  Arg.(
+    value
+    & opt (list ~sep:',' int) [ 512; 1024; 2048; 4096; 8192 ]
+    & info [ "fb-list" ] ~docv:"SIZES"
+        ~doc:"Frame-buffer set sizes to sweep (comma-separated words).")
+
+let csv_arg =
+  Arg.(value & flag & info [ "csv" ] ~doc:"Print CSV instead of a table.")
+
+let report_points ~csv points =
+  if csv then print_string (Report.Dse.to_csv points)
+  else begin
+    Report.Dse.print_table points;
+    (match Report.Dse.best points with
+    | Some p ->
+      Format.printf "best: %s at FB=%s (%s cycles)@." p.Report.Dse.scheduler
+        (Msutil.Pretty.kbytes p.Report.Dse.fb_set_size)
+        (match p.Report.Dse.total_cycles with
+        | Some c -> string_of_int c
+        | None -> "-")
+    | None -> Format.printf "no feasible point@.");
+    let frontier = Report.Dse.pareto points in
+    Format.printf "pareto frontier (FB, cycles):";
+    List.iter
+      (fun (p : Report.Dse.point) ->
+        Format.printf " (%s, %d)"
+          (Msutil.Pretty.kbytes p.Report.Dse.fb_set_size)
+          (Option.value ~default:0 p.Report.Dse.total_cycles))
+      frontier;
+    Format.printf "@."
+  end
+
 let sweep_cmd =
-  let fb_list_arg =
-    Arg.(
-      value
-      & opt (list ~sep:',' int) [ 512; 1024; 2048; 4096; 8192 ]
-      & info [ "fb-list" ] ~docv:"SIZES"
-          ~doc:"Frame-buffer set sizes to sweep (comma-separated words).")
-  in
-  let csv_arg =
-    Arg.(value & flag & info [ "csv" ] ~doc:"Print CSV instead of a table.")
-  in
   let run name file partition fb_list csv =
     match resolve_source ~name ~file with
     | Error e -> `Error (false, e)
@@ -300,28 +325,7 @@ let sweep_cmd =
       match clustering_of source ~partition ~auto:false ~config with
       | Error e -> `Error (false, e)
       | Ok clustering ->
-        let points = Report.Dse.sweep ~fb_list app clustering in
-        if csv then print_string (Report.Dse.to_csv points)
-        else begin
-          Report.Dse.print_table points;
-          (match Report.Dse.best points with
-          | Some p ->
-            Format.printf "best: %s at FB=%s (%s cycles)@." p.Report.Dse.scheduler
-              (Msutil.Pretty.kbytes p.Report.Dse.fb_set_size)
-              (match p.Report.Dse.total_cycles with
-              | Some c -> string_of_int c
-              | None -> "-")
-          | None -> Format.printf "no feasible point@.");
-          let frontier = Report.Dse.pareto points in
-          Format.printf "pareto frontier (FB, cycles):";
-          List.iter
-            (fun (p : Report.Dse.point) ->
-              Format.printf " (%s, %d)"
-                (Msutil.Pretty.kbytes p.Report.Dse.fb_set_size)
-                (Option.value ~default:0 p.Report.Dse.total_cycles))
-            frontier;
-          Format.printf "@."
-        end;
+        report_points ~csv (Report.Dse.sweep ~fb_list app clustering);
         `Ok ())
   in
   Cmd.v
@@ -331,6 +335,138 @@ let sweep_cmd =
       ret
         (const run $ workload_arg $ file_arg $ partition_arg $ fb_list_arg
        $ csv_arg))
+
+let jobs_arg =
+  let doc =
+    "Worker domains for the engine pool (0 = one per hardware thread)."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let resolve_jobs jobs =
+  if jobs <= 0 then Engine.Pool.recommended_jobs () else jobs
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print per-scheduler timing and cache statistics to stderr.")
+
+let dse_cmd =
+  let cm_list_arg =
+    Arg.(
+      value
+      & opt (list ~sep:',' int) [ 2048 ]
+      & info [ "cm-list" ] ~docv:"SIZES"
+          ~doc:"Context-memory capacities to sweep (comma-separated words).")
+  in
+  let setup_list_arg =
+    Arg.(
+      value
+      & opt (list ~sep:',' int) [ 0 ]
+      & info [ "setup-list" ] ~docv:"CYCLES"
+          ~doc:"DMA setup costs to sweep (comma-separated cycles).")
+  in
+  let cache_arg =
+    Arg.(
+      value & flag
+      & info [ "cache" ]
+          ~doc:
+            "Memoise design points by content digest: points repeated \
+             across sweeps (see $(b,--repeat)) are scheduled once.")
+  in
+  let repeat_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:
+            "Run the sweep N times (through the same cache when \
+             $(b,--cache) is set) — demonstrates memoisation and \
+             steadies timings.")
+  in
+  let run name file partition fb_list cm_list setup_list jobs use_cache repeat
+      stats csv =
+    match resolve_source ~name ~file with
+    | Error e -> `Error (false, e)
+    | Ok source -> (
+      let app = source.app in
+      let config = config_of source ~fb:None ~cm:None in
+      match clustering_of source ~partition ~auto:false ~config with
+      | Error e -> `Error (false, e)
+      | Ok clustering ->
+        let jobs = resolve_jobs jobs in
+        let cache =
+          if use_cache then Some (Engine.Cache.create ()) else None
+        in
+        let st = if stats then Some (Engine.Stats.create ()) else None in
+        let sweep () =
+          Report.Dse.sweep ~jobs ?cache ?stats:st ~cm_list ~setup_list
+            ~fb_list app clustering
+        in
+        let points = ref (sweep ()) in
+        for _ = 2 to max 1 repeat do
+          points := sweep ()
+        done;
+        report_points ~csv !points;
+        (match st with
+        | Some st -> Format.eprintf "%a@." Engine.Stats.pp st
+        | None -> ());
+        `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "dse"
+       ~doc:
+         "Parallel cached design-space exploration: the full (FB, CM, DMA \
+          setup, scheduler) cross product on an engine worker pool")
+    Term.(
+      ret
+        (const run $ workload_arg $ file_arg $ partition_arg $ fb_list_arg
+       $ cm_list_arg $ setup_list_arg $ jobs_arg $ cache_arg $ repeat_arg
+       $ stats_arg $ csv_arg))
+
+let fuzz_cmd =
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Random seed; a run is reproducible by its seed alone.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "count" ] ~docv:"K" ~doc:"Number of random applications.")
+  in
+  let fb_arg =
+    Arg.(
+      value & opt int 4096
+      & info [ "fb" ] ~docv:"WORDS"
+          ~doc:"Frame-buffer set size the random applications are \
+                scheduled against.")
+  in
+  let run seed count fb jobs stats =
+    if count < 0 then `Error (false, "--count must be non-negative")
+    else if fb <= 0 then `Error (false, "--fb must be positive")
+    else begin
+    let jobs = resolve_jobs jobs in
+    let st = if stats then Some (Engine.Stats.create ()) else None in
+    let report =
+      Report.Fuzz.run ~jobs ~fb_set_size:fb ?stats:st ~seed ~count ()
+    in
+    Format.printf "%a@." Report.Fuzz.pp report;
+    (match st with
+    | Some st -> Format.eprintf "%a@." Engine.Stats.pp st
+    | None -> ());
+    if Report.Fuzz.ok report then `Ok ()
+    else `Error (false, "fuzzing found scheduler bugs (see report above)")
+    end
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: schedule random applications with Basic, \
+          DS and CDS on the worker pool and referee every schedule with \
+          the semantic validator")
+    Term.(
+      ret (const run $ seed_arg $ count_arg $ fb_arg $ jobs_arg $ stats_arg))
 
 let table1_cmd =
   let csv_arg =
@@ -476,7 +612,7 @@ let main =
     (Cmd.info "msched" ~version:"1.0.0" ~doc)
     [
       list_cmd; run_cmd; compare_cmd; alloc_cmd; dot_cmd; asm_cmd; vcd_cmd;
-      kernels_cmd; sweep_cmd; table1_cmd; figures_cmd;
+      kernels_cmd; sweep_cmd; dse_cmd; fuzz_cmd; table1_cmd; figures_cmd;
     ]
 
 let () = exit (Cmd.eval ~argv main)

@@ -1,0 +1,48 @@
+type 'a t = {
+  mutex : Mutex.t;
+  table : (string, 'a) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(size_hint = 256) () =
+  { mutex = Mutex.create (); table = Hashtbl.create size_hint;
+    hits = 0; misses = 0 }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let find t key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some _ as hit ->
+        t.hits <- t.hits + 1;
+        hit
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+(* First value in wins; returns the canonical stored value. *)
+let intern t key v =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some existing -> existing
+      | None ->
+        Hashtbl.add t.table key v;
+        v)
+
+let add t key v = ignore (intern t key v)
+
+let find_or_add t key f =
+  match find t key with Some v -> v | None -> intern t key (f ())
+
+let length t = with_lock t (fun () -> Hashtbl.length t.table)
+let hits t = with_lock t (fun () -> t.hits)
+let misses t = with_lock t (fun () -> t.misses)
+
+let clear t =
+  with_lock t (fun () ->
+      Hashtbl.reset t.table;
+      t.hits <- 0;
+      t.misses <- 0)

@@ -1,0 +1,31 @@
+(** Content-addressed memo cache, shared between sweeps and safe to use
+    from pool workers.
+
+    Keys are digests (see {!Key}); values are whatever the task computed.
+    A key, once added, is never overwritten — the first value interned
+    wins — so repeated design points across sweeps are scheduled once and
+    every later lookup sees the identical value. Hit/miss counters feed
+    {!Stats} and the [--stats] CLI output. *)
+
+type 'a t
+
+val create : ?size_hint:int -> unit -> 'a t
+
+val find : 'a t -> string -> 'a option
+(** Thread-safe lookup; bumps the hit or miss counter. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Intern a value; a no-op if the key is already present. *)
+
+val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
+(** [find_or_add t key f] returns the cached value, or runs [f] and
+    interns its result. [f] runs outside the lock, so two workers racing
+    on the same key may both compute — but both then observe the single
+    interned value, keeping results consistent. *)
+
+val length : 'a t -> int
+val hits : 'a t -> int
+val misses : 'a t -> int
+
+val clear : 'a t -> unit
+(** Drop every entry and reset the counters. *)

@@ -1,0 +1,7 @@
+let digest_value v = Digest.to_hex (Digest.string (Marshal.to_string v []))
+
+let combine parts =
+  Digest.to_hex
+    (Digest.string
+       (String.concat ""
+          (List.map (fun p -> string_of_int (String.length p) ^ ":" ^ p) parts)))

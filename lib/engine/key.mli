@@ -1,0 +1,17 @@
+(** Content addressing for memo-cache keys.
+
+    A design point is identified by what it computes from — the
+    application, the clustering, the machine configuration, the scheduler
+    name — not by where it appears in a sweep. Digesting those values
+    gives a key that is stable across sweeps and across processes. *)
+
+val digest_value : 'a -> string
+(** Hex MD5 of the value's [Marshal] representation. The value must be
+    marshallable (pure data, no closures) — true of the kernel IR,
+    clusterings and machine configurations. Structurally equal values
+    yield equal digests. *)
+
+val combine : string list -> string
+(** Fold several components (digests, names, parameters rendered as
+    strings) into one key. Component boundaries are preserved, so
+    [combine ["ab"; "c"]] and [combine ["a"; "bc"]] differ. *)

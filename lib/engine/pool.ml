@@ -1,0 +1,45 @@
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+(* Shared completion semantics for both paths: every task runs exactly
+   once; the exception of the lowest-indexed failing task (with its
+   original backtrace) is what the caller sees. *)
+let extract results =
+  Array.map
+    (function
+      | Some (Ok v) -> v
+      | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | None -> assert false)
+    results
+
+let attempt f =
+  match f () with
+  | v -> Ok v
+  | exception e -> Error (e, Printexc.get_raw_backtrace ())
+
+(* Work-stealing is overkill for coarse scheduler tasks: a shared atomic
+   next-task counter gives dynamic load balancing with no queues, and the
+   results array (one writer per slot, read only after the joins) keeps the
+   output in task order regardless of which domain ran what. *)
+let run_parallel ~jobs (tasks : (unit -> 'a) array) : 'a array =
+  let n = Array.length tasks in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let rec worker () =
+    let i = Atomic.fetch_and_add next 1 in
+    if i < n then begin
+      results.(i) <- Some (attempt tasks.(i));
+      worker ()
+    end
+  in
+  let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join helpers;
+  extract results
+
+let run ?(jobs = 1) tasks =
+  let jobs = min jobs (Array.length tasks) in
+  if jobs <= 1 then extract (Array.map (fun f -> Some (attempt f)) tasks)
+  else run_parallel ~jobs tasks
+
+let map ?jobs f xs =
+  Array.to_list (run ?jobs (Array.of_list (List.map (fun x () -> f x) xs)))

@@ -1,0 +1,26 @@
+(** Fixed-size [Domain]-based worker pool with deterministic result order.
+
+    [run ~jobs tasks] evaluates every task exactly once and returns the
+    results in task order, whatever the interleaving of the workers: slot
+    [i] of the output always holds the result of [tasks.(i)]. With
+    [~jobs:1] (the default) the tasks run sequentially in the calling
+    domain — the reference path parallel runs are compared against.
+
+    Tasks must not themselves spawn domains per task and should be pure
+    (or touch only domain-safe state): the pool guarantees each task runs
+    once, but makes no promise about which domain runs it. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the hardware parallelism
+    available to this process. *)
+
+val run : ?jobs:int -> (unit -> 'a) array -> 'a array
+(** [run ~jobs tasks] evaluates the tasks on [min jobs (length tasks)]
+    domains (the caller counts as one worker). If a task raises, every
+    task still completes, then the exception of the lowest-indexed
+    failing task is re-raised with its original backtrace — the same
+    observable failure whatever the job count. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [List.map f xs] evaluated on the pool, order
+    preserved. *)

@@ -1,0 +1,42 @@
+(** Per-task timing and progress instrumentation for pool runs.
+
+    One [Stats.t] accumulates, thread-safely, a labelled timing series
+    (label = scheduler name in the DSE engine): task count, wall and CPU
+    seconds, min/max wall per task — plus cache hit/miss totals reported
+    by the sweep. Feed it to [Report.Dse.sweep ~stats] / [Report.Fuzz.run
+    ~stats] and print it with {!pp} (the [--stats] CLI flag). *)
+
+type entry = {
+  label : string;
+  count : int;  (** tasks run under this label *)
+  wall : float;  (** summed wall-clock seconds *)
+  cpu : float;  (** summed process CPU seconds (all domains) *)
+  min_wall : float;
+  max_wall : float;
+}
+
+type t
+
+val create : unit -> t
+
+val time : t -> label:string -> (unit -> 'a) -> 'a
+(** Run the thunk, charging its wall/CPU time to [label]. Re-raises
+    whatever the thunk raises (the timing is still recorded). *)
+
+val record : t -> label:string -> wall:float -> cpu:float -> unit
+(** Charge an externally measured duration to [label]. *)
+
+val note_cache : t -> hits:int -> misses:int -> unit
+(** Accumulate cache counters observed by one sweep. *)
+
+val entries : t -> entry list
+(** Sorted by label. *)
+
+val tasks_run : t -> int
+val cache_hits : t -> int
+val cache_misses : t -> int
+val total_wall : t -> float
+
+val pp : Format.formatter -> t -> unit
+(** Table of per-label count / total / mean / min / max wall time, CPU
+    time, and the cache totals when any were noted. *)

@@ -37,32 +37,99 @@ let point_of_schedule config ~fb ~cm ~setup ~scheduler = function
       context_words = Some m.Msim.Metrics.context_words_loaded;
     }
 
-let sweep ?(cm_list = [ 2048 ]) ?(setup_list = [ 0 ]) ~fb_list app clustering =
-  List.concat_map
-    (fun fb ->
-      List.concat_map
-        (fun cm ->
-          List.concat_map
-            (fun setup ->
-              let config =
-                Morphosys.Config.make ~fb_set_size:fb ~cm_capacity:cm
-                  ~dma_setup_cycles:setup ()
-              in
-              let mk = point_of_schedule config ~fb ~cm ~setup in
-              [
-                mk ~scheduler:"basic"
-                  (Sched.Basic_scheduler.schedule config app clustering);
-                mk ~scheduler:"ds"
-                  (Sched.Data_scheduler.schedule config app clustering);
-                mk ~scheduler:"cds"
-                  (Result.map
-                     (fun r -> r.Cds.Complete_data_scheduler.schedule)
-                     (Cds.Complete_data_scheduler.schedule config app
-                        clustering));
-              ])
-            setup_list)
-        cm_list)
-    fb_list
+let schedulers = [ "basic"; "ds"; "cds" ]
+
+let evaluate ~fb ~cm ~setup ~scheduler app clustering =
+  let config =
+    Morphosys.Config.make ~fb_set_size:fb ~cm_capacity:cm
+      ~dma_setup_cycles:setup ()
+  in
+  let mk = point_of_schedule config ~fb ~cm ~setup in
+  match scheduler with
+  | "basic" -> mk ~scheduler (Sched.Basic_scheduler.schedule config app clustering)
+  | "ds" -> mk ~scheduler (Sched.Data_scheduler.schedule config app clustering)
+  | "cds" ->
+    mk ~scheduler
+      (Result.map
+         (fun r -> r.Cds.Complete_data_scheduler.schedule)
+         (Cds.Complete_data_scheduler.schedule config app clustering))
+  | s -> invalid_arg ("Dse.evaluate: unknown scheduler " ^ s)
+
+let point_key ~app_digest (fb, cm, setup, scheduler) =
+  Engine.Key.combine
+    [ app_digest; string_of_int fb; string_of_int cm; string_of_int setup;
+      scheduler ]
+
+let sweep ?(jobs = 1) ?cache ?stats ?(cm_list = [ 2048 ]) ?(setup_list = [ 0 ])
+    ~fb_list app clustering =
+  let combos =
+    List.concat_map
+      (fun fb ->
+        List.concat_map
+          (fun cm ->
+            List.concat_map
+              (fun setup ->
+                List.map (fun scheduler -> (fb, cm, setup, scheduler))
+                  schedulers)
+              setup_list)
+          cm_list)
+      fb_list
+  in
+  let eval (fb, cm, setup, scheduler) =
+    let work () = evaluate ~fb ~cm ~setup ~scheduler app clustering in
+    match stats with
+    | None -> work ()
+    | Some st -> Engine.Stats.time st ~label:scheduler work
+  in
+  match cache with
+  | None ->
+    Array.to_list
+      (Engine.Pool.run ~jobs (Array.of_list (List.map (fun c () -> eval c) combos)))
+  | Some cache ->
+    (* One design point = one key: the digest covers the application, the
+       clustering and every machine parameter, so a hit is exact. Misses
+       are deduped and scheduled once each; results land back in combo
+       order, keeping the output byte-identical to the sequential path. *)
+    let app_digest = Engine.Key.digest_value (app, clustering) in
+    let lookups =
+      List.map
+        (fun c ->
+          let key = point_key ~app_digest c in
+          (c, key, Engine.Cache.find cache key))
+        combos
+    in
+    let missing =
+      let seen = Hashtbl.create 16 in
+      List.filter_map
+        (fun (c, key, hit) ->
+          if hit <> None || Hashtbl.mem seen key then None
+          else begin
+            Hashtbl.add seen key ();
+            Some (c, key)
+          end)
+        lookups
+    in
+    let computed =
+      Engine.Pool.run ~jobs
+        (Array.of_list (List.map (fun (c, _) () -> eval c) missing))
+    in
+    let fresh = Hashtbl.create 16 in
+    List.iteri
+      (fun i (_, key) ->
+        Hashtbl.replace fresh key computed.(i);
+        Engine.Cache.add cache key computed.(i))
+      missing;
+    (match stats with
+    | Some st ->
+      let hits =
+        List.length (List.filter (fun (_, _, hit) -> hit <> None) lookups)
+      in
+      Engine.Stats.note_cache st ~hits ~misses:(List.length combos - hits)
+    | None -> ());
+    List.map
+      (fun (_, key, hit) ->
+        match hit with Some p -> p | None -> Hashtbl.find fresh key)
+      lookups
 
 let opt_str f = function Some v -> f v | None -> ""
 

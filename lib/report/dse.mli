@@ -17,13 +17,24 @@ type point = {
 }
 
 val sweep :
+  ?jobs:int ->
+  ?cache:point Engine.Cache.t ->
+  ?stats:Engine.Stats.t ->
   ?cm_list:int list ->
   ?setup_list:int list ->
   fb_list:int list ->
   Kernel_ir.Application.t ->
   Kernel_ir.Cluster.clustering ->
   point list
-(** Full cross product, three schedulers per configuration, in order. *)
+(** Full cross product, three schedulers per configuration, in order.
+
+    [~jobs] (default 1) fans the design points out over an
+    {!Engine.Pool} of that many domains; the point list (and therefore
+    {!to_csv}) is byte-identical to the sequential [~jobs:1] path
+    whatever the interleaving. [~cache] memoises points by
+    (application, clustering, machine config, scheduler) digest, so
+    design points repeated across sweeps are scheduled once. [~stats]
+    accumulates per-scheduler timing and cache counters. *)
 
 val to_csv : point list -> string
 

@@ -1,0 +1,45 @@
+(** Randomized differential testing of the three schedulers.
+
+    Fans [count] random applications (from {!Workloads.Random_app}) out
+    over an {!Engine.Pool}, schedules each with Basic, DS and CDS, and
+    referees every produced schedule with {!Msim.Validate.check} — the
+    semantic oracle that replays residency, store validity, output
+    completeness, overlap legality and computation coverage. When all
+    three schedulers are feasible the cycle ordering
+    [CDS <= DS <= Basic] is checked too (the paper's headline claim).
+
+    Generation is keyed by [(seed, index)], so the report is identical
+    for any job count — a fuzz run is reproducible by its seed alone. *)
+
+type case = {
+  index : int;  (** 0-based application index within the run *)
+  scheduler : string;
+  message : string;
+}
+
+type report = {
+  seed : int;
+  count : int;
+  fb_set_size : int;
+  schedules_checked : int;  (** schedules produced and validated *)
+  infeasible : int;  (** scheduler returned an error (not a bug) *)
+  violations : case list;  (** validator violations — scheduler bugs *)
+  ordering_failures : case list;
+      (** feasible triples where CDS > DS or DS > Basic cycles *)
+}
+
+val run :
+  ?jobs:int ->
+  ?fb_set_size:int ->
+  ?stats:Engine.Stats.t ->
+  seed:int ->
+  count:int ->
+  unit ->
+  report
+(** [run ~seed ~count ()] fuzzes [count] random applications on an M1
+    configuration with [fb_set_size] (default 4096) words per set. *)
+
+val ok : report -> bool
+(** No violations and no ordering failures. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,98 @@
+(* Determinism of the parallel cached DSE engine: jobs=N must reproduce
+   jobs=1 byte for byte, with and without the memo cache; the cache must
+   actually memoise across sweeps; fuzz reports must not depend on the
+   job count. *)
+
+module Dse = Report.Dse
+
+let point = Alcotest.testable (Fmt.of_to_string (fun _ -> "<point>")) ( = )
+
+let mpeg () =
+  let app = Workloads.Mpeg.app () in
+  (app, Workloads.Mpeg.clustering app)
+
+let sweep ?jobs ?cache ?stats (app, clustering) =
+  Dse.sweep ?jobs ?cache ?stats ~cm_list:[ 1024; 2048 ]
+    ~setup_list:[ 0; 16 ] ~fb_list:[ 1024; 2048; 3072 ] app clustering
+
+let test_jobs_deterministic () =
+  let w = mpeg () in
+  let reference = sweep ~jobs:1 w in
+  Alcotest.(check int) "cross product size" 36 (List.length reference);
+  List.iter
+    (fun jobs ->
+      let got = sweep ~jobs w in
+      Alcotest.(check (list point))
+        (Printf.sprintf "jobs=%d same points" jobs)
+        reference got;
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=%d byte-identical csv" jobs)
+        (Dse.to_csv reference) (Dse.to_csv got))
+    [ 2; 4 ]
+
+let test_cache_deterministic () =
+  let w = mpeg () in
+  let reference = sweep ~jobs:1 w in
+  let cache = Engine.Cache.create () in
+  let cold = sweep ~jobs:4 ~cache w in
+  Alcotest.(check string) "cold cache byte-identical" (Dse.to_csv reference)
+    (Dse.to_csv cold);
+  Alcotest.(check int) "cold sweep missed everything" 0
+    (Engine.Cache.hits cache);
+  let stats = Engine.Stats.create () in
+  let warm = sweep ~jobs:4 ~cache ~stats w in
+  Alcotest.(check string) "warm cache byte-identical" (Dse.to_csv reference)
+    (Dse.to_csv warm);
+  Alcotest.(check int) "warm sweep hit everything" 36
+    (Engine.Cache.hits cache);
+  Alcotest.(check int) "stats saw the hits" 36
+    (Engine.Stats.cache_hits stats);
+  Alcotest.(check int) "no task ran on the warm sweep" 0
+    (Engine.Stats.tasks_run stats)
+
+let test_cache_across_sweeps () =
+  (* overlapping fb lists: the shared design points are scheduled once *)
+  let app, clustering = mpeg () in
+  let cache = Engine.Cache.create () in
+  let first = Dse.sweep ~cache ~fb_list:[ 1024; 2048 ] app clustering in
+  let second = Dse.sweep ~cache ~fb_list:[ 2048; 3072 ] app clustering in
+  Alcotest.(check int) "3 shared points served from cache" 3
+    (Engine.Cache.hits cache);
+  Alcotest.(check int) "9 distinct points scheduled" 9
+    (Engine.Cache.length cache);
+  (* the shared fb=2048 rows are literally the same points *)
+  let rows fb pts =
+    List.filter (fun (p : Dse.point) -> p.Dse.fb_set_size = fb) pts
+  in
+  Alcotest.(check (list point)) "shared rows identical" (rows 2048 first)
+    (rows 2048 second);
+  (* and a different clustering must not collide with the cached points *)
+  let singleton = Kernel_ir.Cluster.singleton_per_kernel app in
+  let third = Dse.sweep ~cache ~fb_list:[ 2048 ] app singleton in
+  Alcotest.(check int) "different clustering misses" 3
+    (Engine.Cache.hits cache);
+  Alcotest.(check bool) "different clustering, different points" true
+    (rows 2048 first <> third)
+
+let test_fuzz_jobs_deterministic () =
+  let run jobs = Report.Fuzz.run ~jobs ~seed:7 ~count:12 () in
+  let r1 = run 1 and r4 = run 4 in
+  Alcotest.(check bool) "same report for jobs=1 and jobs=4" true (r1 = r4);
+  Alcotest.(check bool) "fuzz finds no bugs" true (Report.Fuzz.ok r1);
+  Alcotest.(check int) "every schedule accounted for" (3 * 12)
+    (r1.Report.Fuzz.schedules_checked + r1.Report.Fuzz.infeasible);
+  (* rerunning the same seed reproduces the run exactly *)
+  Alcotest.(check bool) "same seed reproduces" true (run 1 = r1)
+
+let tests =
+  ( "dse_parallel",
+    [
+      Alcotest.test_case "jobs=N byte-identical to jobs=1" `Quick
+        test_jobs_deterministic;
+      Alcotest.test_case "cache preserves output" `Quick
+        test_cache_deterministic;
+      Alcotest.test_case "cache memoises across sweeps" `Quick
+        test_cache_across_sweeps;
+      Alcotest.test_case "fuzz independent of job count" `Quick
+        test_fuzz_jobs_deterministic;
+    ] )

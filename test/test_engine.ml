@@ -1,0 +1,144 @@
+(* Engine subsystem units: pool ordering and failure determinism, cache
+   memoisation and counters, content-addressed keys, stats accumulation. *)
+
+let test_pool_ordering () =
+  let tasks = Array.init 37 (fun i () -> i * i) in
+  let expected = Array.init 37 (fun i -> i * i) in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d preserves task order" jobs)
+        expected
+        (Engine.Pool.run ~jobs tasks))
+    [ 1; 2; 4; 8 ];
+  Alcotest.(check (array int)) "empty" [||] (Engine.Pool.run ~jobs:4 [||]);
+  Alcotest.(check (list int)) "map" [ 2; 4; 6 ]
+    (Engine.Pool.map ~jobs:3 (fun x -> 2 * x) [ 1; 2; 3 ])
+
+let test_pool_exception () =
+  List.iter
+    (fun jobs ->
+      let ran = Array.make 8 false in
+      let tasks =
+        Array.init 8 (fun i () ->
+            ran.(i) <- true;
+            if i = 3 then failwith "boom3";
+            if i = 5 then failwith "boom5";
+            i)
+      in
+      (match Engine.Pool.run ~jobs tasks with
+      | (_ : int array) -> Alcotest.fail "expected an exception"
+      | exception Failure msg ->
+        (* the lowest-indexed failure wins, whatever the interleaving *)
+        Alcotest.(check string)
+          (Printf.sprintf "jobs=%d deterministic failure" jobs)
+          "boom3" msg);
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d every task still ran" jobs)
+        true
+        (Array.for_all Fun.id ran))
+    [ 1; 4 ]
+
+let test_pool_recommended () =
+  Alcotest.(check bool) "at least one domain" true
+    (Engine.Pool.recommended_jobs () >= 1)
+
+let test_cache_basics () =
+  let c = Engine.Cache.create () in
+  Alcotest.(check (option int)) "miss on empty" None (Engine.Cache.find c "k");
+  Engine.Cache.add c "k" 42;
+  Alcotest.(check (option int)) "hit after add" (Some 42)
+    (Engine.Cache.find c "k");
+  (* first value in wins: a key is never overwritten *)
+  Engine.Cache.add c "k" 99;
+  Alcotest.(check (option int)) "add does not overwrite" (Some 42)
+    (Engine.Cache.find c "k");
+  Alcotest.(check int) "length" 1 (Engine.Cache.length c);
+  Alcotest.(check int) "hits" 2 (Engine.Cache.hits c);
+  Alcotest.(check int) "misses" 1 (Engine.Cache.misses c);
+  Engine.Cache.clear c;
+  Alcotest.(check int) "cleared" 0 (Engine.Cache.length c);
+  Alcotest.(check int) "counters reset" 0 (Engine.Cache.hits c)
+
+let test_cache_find_or_add () =
+  let c = Engine.Cache.create () in
+  let computed = ref 0 in
+  let get () =
+    Engine.Cache.find_or_add c "key" (fun () ->
+        incr computed;
+        !computed)
+  in
+  Alcotest.(check int) "computed once" 1 (get ());
+  Alcotest.(check int) "served from cache" 1 (get ());
+  Alcotest.(check int) "thunk ran once" 1 !computed;
+  (* hammer one key from the pool: every worker must observe the single
+     interned value *)
+  let c2 = Engine.Cache.create () in
+  let values =
+    Engine.Pool.run ~jobs:4
+      (Array.init 16 (fun i () ->
+           Engine.Cache.find_or_add c2 "shared" (fun () -> i)))
+  in
+  let first = values.(0) in
+  Alcotest.(check bool) "consistent across workers" true
+    (Array.for_all (fun v -> v = first) values);
+  Alcotest.(check int) "one entry" 1 (Engine.Cache.length c2)
+
+let test_key_digests () =
+  let d1 = Engine.Key.digest_value (1, [ "a"; "b" ], 3.0) in
+  let d2 = Engine.Key.digest_value (1, [ "a"; "b" ], 3.0) in
+  let d3 = Engine.Key.digest_value (1, [ "a"; "c" ], 3.0) in
+  Alcotest.(check string) "structural equality -> equal digest" d1 d2;
+  Alcotest.(check bool) "different value -> different digest" true (d1 <> d3);
+  Alcotest.(check bool) "combine keeps boundaries" true
+    (Engine.Key.combine [ "ab"; "c" ] <> Engine.Key.combine [ "a"; "bc" ]);
+  (* the digest a sweep uses: a real application round-trips *)
+  let app = Workloads.Mpeg.app () in
+  let clustering = Workloads.Mpeg.clustering app in
+  Alcotest.(check string) "application digest is stable"
+    (Engine.Key.digest_value (app, clustering))
+    (Engine.Key.digest_value (Workloads.Mpeg.app (), clustering))
+
+let test_stats () =
+  let st = Engine.Stats.create () in
+  Alcotest.(check int) "fresh" 0 (Engine.Stats.tasks_run st);
+  let v = Engine.Stats.time st ~label:"ds" (fun () -> 7) in
+  Alcotest.(check int) "thunk value" 7 v;
+  Engine.Stats.record st ~label:"ds" ~wall:0.25 ~cpu:0.2;
+  Engine.Stats.record st ~label:"cds" ~wall:1.0 ~cpu:0.9;
+  Alcotest.(check int) "tasks counted" 3 (Engine.Stats.tasks_run st);
+  (match Engine.Stats.entries st with
+  | [ cds; ds ] ->
+    Alcotest.(check string) "sorted by label" "cds" cds.Engine.Stats.label;
+    Alcotest.(check int) "ds count" 2 ds.Engine.Stats.count;
+    Alcotest.(check bool) "ds wall accumulated" true
+      (ds.Engine.Stats.wall >= 0.25);
+    Alcotest.(check bool) "max >= min" true
+      (ds.Engine.Stats.max_wall >= ds.Engine.Stats.min_wall)
+  | es -> Alcotest.failf "expected 2 entries, got %d" (List.length es));
+  Engine.Stats.note_cache st ~hits:5 ~misses:3;
+  Engine.Stats.note_cache st ~hits:1 ~misses:0;
+  Alcotest.(check int) "cache hits accumulate" 6 (Engine.Stats.cache_hits st);
+  Alcotest.(check int) "cache misses accumulate" 3
+    (Engine.Stats.cache_misses st);
+  (* timing is recorded even when the thunk raises *)
+  (match Engine.Stats.time st ~label:"boom" (fun () -> failwith "x") with
+  | () -> Alcotest.fail "expected exception"
+  | exception Failure _ -> ());
+  Alcotest.(check int) "failed task still timed" 4
+    (Engine.Stats.tasks_run st);
+  let rendered = Format.asprintf "%a" Engine.Stats.pp st in
+  Alcotest.(check bool) "pp mentions cache" true
+    (Astring_contains.contains rendered "cache")
+
+let tests =
+  ( "engine",
+    [
+      Alcotest.test_case "pool ordering" `Quick test_pool_ordering;
+      Alcotest.test_case "pool exceptions" `Quick test_pool_exception;
+      Alcotest.test_case "pool recommended jobs" `Quick test_pool_recommended;
+      Alcotest.test_case "cache basics" `Quick test_cache_basics;
+      Alcotest.test_case "cache find_or_add" `Quick test_cache_find_or_add;
+      Alcotest.test_case "key digests" `Quick test_key_digests;
+      Alcotest.test_case "stats" `Quick test_stats;
+    ] )

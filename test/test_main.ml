@@ -27,5 +27,8 @@ let () =
       Test_invariant.tests;
       Test_vcd.tests;
       Test_dse.tests;
+      Test_engine.tests;
+      Test_dse_parallel.tests;
+      Test_fuzz_oracle.tests;
       Test_misc_coverage.tests;
     ]
