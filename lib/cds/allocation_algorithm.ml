@@ -66,8 +66,9 @@ let is_retained state (d : Data.t) set =
       c.Sharing.set = set && (Sharing.data c).Data.id = d.Data.id)
     state.retained
 
-let run ?(capture = fun ~cluster_id:_ -> true) (config : Morphosys.Config.t)
-    app clustering ~rf ~(retention : Retention.decision) ~round =
+let run ?analysis ?(capture = fun ~cluster_id:_ -> true)
+    (config : Morphosys.Config.t) app clustering ~rf
+    ~(retention : Retention.decision) ~round =
   if rf < 1 then invalid_arg "Allocation_algorithm.run: rf must be >= 1";
   if round < 0 then invalid_arg "Allocation_algorithm.run: negative round";
   let state =
@@ -85,7 +86,11 @@ let run ?(capture = fun ~cluster_id:_ -> true) (config : Morphosys.Config.t)
     if d.Data.invariant then [ 0 ] else List.init rf (fun i -> base + i)
   in
   let iters g_fun = List.iter g_fun (List.init rf (fun i -> base + i)) in
-  let profiles = IE.profiles app clustering in
+  let profiles =
+    match analysis with
+    | Some a -> Kernel_ir.Analysis.profiles_list a
+    | None -> IE.profiles app clustering
+  in
   List.iter
     (fun (prof : IE.cluster_profile) ->
       let c = prof.IE.cluster in

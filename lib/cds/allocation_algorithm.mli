@@ -35,6 +35,7 @@ type result = {
 }
 
 val run :
+  ?analysis:Kernel_ir.Analysis.t ->
   ?capture:(cluster_id:int -> bool) ->
   Morphosys.Config.t ->
   Kernel_ir.Application.t ->
@@ -44,4 +45,6 @@ val run :
   round:int ->
   result
 (** [capture] selects the clusters whose snapshots are recorded (default:
-    all). @raise Invalid_argument if [rf < 1] or [round < 0]. *)
+    all). [analysis] supplies precomputed cluster profiles (must belong to
+    the same [(app, clustering)]); without it the profiles are re-derived.
+    @raise Invalid_argument if [rf < 1] or [round < 0]. *)

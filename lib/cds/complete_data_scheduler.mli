@@ -33,4 +33,31 @@ val schedule :
   Kernel_ir.Cluster.clustering ->
   (result, string) Stdlib.result
 (** [Error] under the same conditions as the Data Scheduler (some [DS(C)]
-    exceeding the FB set even at RF = 1, or context-memory overflow). *)
+    exceeding the FB set even at RF = 1, or context-memory overflow).
+    Builds a {!Sched.Sched_ctx} internally; callers scheduling the same
+    [(app, clustering)] repeatedly should build one and use
+    {!schedule_ctx}. *)
+
+val schedule_ctx :
+  ?retention:bool ->
+  ?cross_set:bool ->
+  Morphosys.Config.t ->
+  Sched.Sched_ctx.t ->
+  (result, string) Stdlib.result
+(** {!schedule} over a precomputed scheduling context: profile and
+    DS-formula lookups are O(1), the retention pass runs incrementally
+    ({!Retention.choose_ctx}), the no-retention case computes its
+    generators once, and the per-RF loop reuses generators when
+    successive reuse factors retain the same candidate set. *)
+
+val schedule_reference :
+  ?retention:bool ->
+  ?cross_set:bool ->
+  Morphosys.Config.t ->
+  Kernel_ir.Application.t ->
+  Kernel_ir.Cluster.clustering ->
+  (result, string) Stdlib.result
+(** The original list-based implementation, retained verbatim: the
+    equivalence oracle for the indexed path and the baseline the scaling
+    bench times against. Produces results byte-identical to
+    {!schedule}. *)

@@ -15,22 +15,23 @@ let simulate ~validate config schedule =
 
 let run ?(validate = true) ?(retention = true) ?(cross_set = false) config app
     clustering =
+  (* one analysis context serves all three scheduler paths *)
+  let ctx = Sched.Sched_ctx.make app clustering in
   let basic =
     Result.map
       (simulate ~validate config)
-      (Sched.Basic_scheduler.schedule config app clustering)
+      (Sched.Basic_scheduler.schedule_ctx config ctx)
   in
   let ds =
     Result.map
       (simulate ~validate config)
-      (Sched.Data_scheduler.schedule config app clustering)
+      (Sched.Data_scheduler.schedule_ctx config ctx)
   in
   let cds =
     Result.map
       (fun (r : Complete_data_scheduler.result) ->
         (simulate ~validate config r.Complete_data_scheduler.schedule, r))
-      (Complete_data_scheduler.schedule ~retention ~cross_set config app
-         clustering)
+      (Complete_data_scheduler.schedule_ctx ~retention ~cross_set config ctx)
   in
   { app; config; clustering; basic; ds; cds }
 
@@ -79,9 +80,10 @@ let auto_clustering ?(scheduler = `Cds) config app =
   Sched.Kernel_scheduler.best app ~eval
 
 let allocation_report config app clustering =
+  let ctx = Sched.Sched_ctx.make app clustering in
   Result.map
     (fun (r : Complete_data_scheduler.result) ->
-      Allocation_algorithm.run config app clustering
-        ~rf:r.Complete_data_scheduler.rf
+      Allocation_algorithm.run ~analysis:(Sched.Sched_ctx.analysis ctx) config
+        app clustering ~rf:r.Complete_data_scheduler.rf
         ~retention:r.Complete_data_scheduler.retention ~round:0)
-    (Complete_data_scheduler.schedule config app clustering)
+    (Complete_data_scheduler.schedule_ctx config ctx)

@@ -34,7 +34,23 @@ val choose :
   Kernel_ir.Cluster.clustering ->
   rf:int ->
   decision
-(** @raise Invalid_argument if [rf < 1]. *)
+(** @raise Invalid_argument if [rf < 1]. This is the reference list-based
+    implementation: it rebuilds every affected cluster's pinned set and DS
+    split from scratch for each candidate. *)
+
+val choose_ctx :
+  ?cross_set:bool ->
+  ?ranking:ranking ->
+  Morphosys.Config.t ->
+  Sched.Sched_ctx.t ->
+  rf:int ->
+  decision
+(** Same decision as {!choose} (identical retained/rejected lists and
+    rejection strings), computed incrementally over a precomputed
+    scheduling context: each cluster keeps the sweep arrays of the DS
+    closed form, pins update them in place, and a candidate's feasibility
+    is an O(cluster kernels) query instead of a from-scratch profile walk.
+    @raise Invalid_argument if [rf < 1]. *)
 
 val none : decision
 (** The empty decision — used to ablate retention. *)

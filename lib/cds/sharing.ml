@@ -17,8 +17,7 @@ let data t = IE.shared_of_data t.shared
 
 let set_of_cluster clustering id = (Cluster.find clustering id).Cluster.fb_set
 
-let candidates ?(cross_set = false) app clustering =
-  let shared = IE.sharing app clustering in
+let candidates_of ~cross_set ~set_of_cluster shared =
   List.concat_map
     (fun s ->
       match s with
@@ -31,14 +30,14 @@ let candidates ?(cross_set = false) app clustering =
            group held by the first consumer's set. *)
         let groups =
           if cross_set then
-            [ (set_of_cluster clustering (List.hd consumer_clusters),
+            [ (set_of_cluster (List.hd consumer_clusters),
                consumer_clusters) ]
           else
             [ Fb.Set_a; Fb.Set_b ]
             |> List.map (fun set ->
                    ( set,
                      List.filter
-                       (fun c -> set_of_cluster clustering c = set)
+                       (fun c -> set_of_cluster c = set)
                        consumer_clusters ))
         in
         List.filter_map
@@ -65,12 +64,12 @@ let candidates ?(cross_set = false) app clustering =
             | _ -> None)
           groups
       | IE.Shared_result { data; producer_cluster; consumer_clusters } ->
-        let set = set_of_cluster clustering producer_cluster in
+        let set = set_of_cluster producer_cluster in
         let group =
           if cross_set then consumer_clusters
           else
             List.filter
-              (fun c -> set_of_cluster clustering c = set)
+              (fun c -> set_of_cluster c = set)
               consumer_clusters
         in
         if group = [] then []
@@ -90,6 +89,17 @@ let candidates ?(cross_set = false) app clustering =
             };
           ])
     shared
+
+let candidates ?(cross_set = false) app clustering =
+  candidates_of ~cross_set
+    ~set_of_cluster:(set_of_cluster clustering)
+    (IE.sharing app clustering)
+
+let candidates_ctx ?(cross_set = false) (analysis : Kernel_ir.Analysis.t) =
+  candidates_of ~cross_set
+    ~set_of_cluster:(fun id ->
+      (Kernel_ir.Analysis.cluster analysis id).Cluster.fb_set)
+    (Kernel_ir.Analysis.sharing analysis)
 
 let is_producer t ~cluster_id =
   match t.shared with

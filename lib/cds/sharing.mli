@@ -34,6 +34,11 @@ val candidates :
   t list
 (** All retention opportunities of the clustering, unordered. *)
 
+val candidates_ctx : ?cross_set:bool -> Kernel_ir.Analysis.t -> t list
+(** {!candidates} over a precomputed analysis context: reads the context's
+    cached sharing list and O(1) cluster lookups instead of re-deriving
+    them from the application. Returns the same list. *)
+
 val pins_cluster : t -> cluster_id:int -> bool
 (** Whether retaining this candidate occupies FB space for the whole
     duration of the given cluster's execution. True for every same-set

@@ -39,20 +39,25 @@ let point_of_schedule config ~fb ~cm ~setup ~scheduler = function
 
 let schedulers = [ "basic"; "ds"; "cds" ]
 
-let evaluate ~fb ~cm ~setup ~scheduler app clustering =
+let evaluate ?ctx ~fb ~cm ~setup ~scheduler app clustering =
   let config =
     Morphosys.Config.make ~fb_set_size:fb ~cm_capacity:cm
       ~dma_setup_cycles:setup ()
   in
+  let ctx =
+    match ctx with
+    | Some c -> c
+    | None -> Sched.Sched_ctx.make app clustering
+  in
   let mk = point_of_schedule config ~fb ~cm ~setup in
   match scheduler with
-  | "basic" -> mk ~scheduler (Sched.Basic_scheduler.schedule config app clustering)
-  | "ds" -> mk ~scheduler (Sched.Data_scheduler.schedule config app clustering)
+  | "basic" -> mk ~scheduler (Sched.Basic_scheduler.schedule_ctx config ctx)
+  | "ds" -> mk ~scheduler (Sched.Data_scheduler.schedule_ctx config ctx)
   | "cds" ->
     mk ~scheduler
       (Result.map
          (fun r -> r.Cds.Complete_data_scheduler.schedule)
-         (Cds.Complete_data_scheduler.schedule config app clustering))
+         (Cds.Complete_data_scheduler.schedule_ctx config ctx))
   | s -> invalid_arg ("Dse.evaluate: unknown scheduler " ^ s)
 
 let point_key ~app_digest (fb, cm, setup, scheduler) =
@@ -75,8 +80,11 @@ let sweep ?(jobs = 1) ?cache ?stats ?(cm_list = [ 2048 ]) ?(setup_list = [ 0 ])
           cm_list)
       fb_list
   in
+  (* One immutable analysis context shared by every design point — and,
+     under [~jobs > 1], by every worker domain. *)
+  let ctx = Sched.Sched_ctx.make app clustering in
   let eval (fb, cm, setup, scheduler) =
-    let work () = evaluate ~fb ~cm ~setup ~scheduler app clustering in
+    let work () = evaluate ~ctx ~fb ~cm ~setup ~scheduler app clustering in
     match stats with
     | None -> work ()
     | Some st -> Engine.Stats.time st ~label:scheduler work

@@ -3,7 +3,7 @@ module IE = Kernel_ir.Info_extractor
 let footprints app clustering =
   IE.profiles app clustering |> List.map Ds_formula.footprint_basic
 
-let schedule config app clustering =
+let schedule_reference config app clustering =
   match Context_scheduler.plan config app clustering with
   | Error e -> Error ("basic: " ^ e)
   | Ok ctx_plan -> (
@@ -22,3 +22,28 @@ let schedule config app clustering =
         (Step_builder.build config app clustering ~rf:1 ~ctx_plan
            ~generators:(Xfer_gen.store_everything app clustering)
            ~scheduler:"basic"))
+
+let schedule_ctx config (ctx : Sched_ctx.t) =
+  let app = Sched_ctx.app ctx and clustering = Sched_ctx.clustering ctx in
+  match Context_scheduler.plan_ctx config (Sched_ctx.analysis ctx) with
+  | Error e -> Error ("basic: " ^ e)
+  | Ok ctx_plan -> (
+    let fps = Sched_ctx.basic_footprints_list ctx in
+    match
+      List.find_opt (fun fp -> fp > config.Morphosys.Config.fb_set_size) fps
+    with
+    | Some fp ->
+      Error
+        (Printf.sprintf
+           "basic: cluster footprint %dw exceeds FB set of %dw (no \
+            replacement)"
+           fp config.Morphosys.Config.fb_set_size)
+    | None ->
+      Ok
+        (Step_builder.build config app clustering ~rf:1 ~ctx_plan
+           ~generators:
+             (Xfer_gen.store_everything_ctx (Sched_ctx.analysis ctx))
+           ~scheduler:"basic"))
+
+let schedule config app clustering =
+  schedule_ctx config (Sched_ctx.make app clustering)

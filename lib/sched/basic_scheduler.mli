@@ -16,6 +16,18 @@ val schedule :
     size or its contexts exceed the CM — the paper notes Basic cannot run
     MPEG with a 1K frame buffer. *)
 
+val schedule_ctx :
+  Morphosys.Config.t -> Sched_ctx.t -> (Schedule.t, string) result
+(** {!schedule} over a precomputed scheduling context. *)
+
+val schedule_reference :
+  Morphosys.Config.t ->
+  Kernel_ir.Application.t ->
+  Kernel_ir.Cluster.clustering ->
+  (Schedule.t, string) result
+(** Original list-based implementation, kept as the equivalence oracle
+    for the indexed path. *)
+
 val footprints :
   Kernel_ir.Application.t -> Kernel_ir.Cluster.clustering -> int list
 (** Per-cluster no-replacement footprints (one iteration). *)

@@ -27,10 +27,7 @@ let rotation_reserve sizes unpinned =
     in
     Msutil.Listx.max_by (fun x -> x) pairs
 
-let plan (config : Morphosys.Config.t) app clustering =
-  let sizes =
-    List.map (fun c -> (c.Cluster.id, context_words app c)) clustering
-  in
+let plan_sizes (config : Morphosys.Config.t) sizes =
   match
     List.find_opt (fun (_, w) -> w > config.cm_capacity) sizes
   with
@@ -66,6 +63,21 @@ let plan (config : Morphosys.Config.t) app clustering =
         reloaded = List.sort compare unpinned;
         reserve = rotation_reserve sizes unpinned;
       }
+
+let plan (config : Morphosys.Config.t) app clustering =
+  plan_sizes config
+    (List.map (fun c -> (c.Cluster.id, context_words app c)) clustering)
+
+(* The profile already carries each cluster's context-word sum, so the
+   indexed path plans without touching the application again. *)
+let plan_ctx (config : Morphosys.Config.t) (analysis : Kernel_ir.Analysis.t) =
+  plan_sizes config
+    (Array.to_list
+       (Array.map
+          (fun (p : Kernel_ir.Info_extractor.cluster_profile) ->
+            (p.Kernel_ir.Info_extractor.cluster.Cluster.id,
+             p.Kernel_ir.Info_extractor.contexts))
+          analysis.Kernel_ir.Analysis.profiles))
 
 let load_words_for_round plan ~app ~clustering ~cluster ~round =
   ignore clustering;

@@ -22,6 +22,11 @@ val plan :
 (** [Error] when some single cluster's contexts exceed the CM capacity —
     no schedule can run that clustering. *)
 
+val plan_ctx :
+  Morphosys.Config.t -> Kernel_ir.Analysis.t -> (plan, string) result
+(** Same plan, but the per-cluster context words come from the analysis
+    context's profiles instead of being re-summed from the application. *)
+
 val context_words :
   Kernel_ir.Application.t -> Kernel_ir.Cluster.t -> int
 (** Context words of a cluster's kernels. *)

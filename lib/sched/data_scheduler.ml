@@ -17,12 +17,17 @@ let packable_words efficiency (config : Morphosys.Config.t) =
     invalid_arg "Data_scheduler: alloc_efficiency must be in (0, 1]";
   int_of_float (efficiency *. float_of_int config.fb_set_size)
 
-let reuse_factor ?(alloc_efficiency = default_efficiency)
-    (config : Morphosys.Config.t) app clustering =
+let reuse_factor_of_splits ~alloc_efficiency (config : Morphosys.Config.t)
+    ~iterations splits =
   Reuse_factor.common_split
     ~fb_set_size:(packable_words alloc_efficiency config)
-    ~footprints:(footprints_split app clustering)
+    ~footprints:splits ~iterations
+
+let reuse_factor ?(alloc_efficiency = default_efficiency)
+    (config : Morphosys.Config.t) app clustering =
+  reuse_factor_of_splits ~alloc_efficiency config
     ~iterations:app.Kernel_ir.Application.iterations
+    (footprints_split app clustering)
 
 (* Build one schedule per candidate reuse factor and keep the fastest (ties
    go to the larger RF, which frees more CM bandwidth). The largest
@@ -48,7 +53,8 @@ let best_by_rf config ~rf_max ~build =
     schedule
   | None -> invalid_arg "Data_scheduler.best_by_rf: rf_max must be >= 1"
 
-let schedule ?(alloc_efficiency = default_efficiency) config app clustering =
+let schedule_reference ?(alloc_efficiency = default_efficiency) config app
+    clustering =
   match Context_scheduler.plan config app clustering with
   | Error e -> Error ("ds: " ^ e)
   | Ok ctx_plan -> (
@@ -66,3 +72,52 @@ let schedule ?(alloc_efficiency = default_efficiency) config app clustering =
              Step_builder.build config app clustering ~rf ~ctx_plan
                ~generators:(Xfer_gen.plain app clustering)
                ~scheduler:"ds")))
+
+let schedule_ctx ?(alloc_efficiency = default_efficiency) config
+    (ctx : Sched_ctx.t) =
+  let app = Sched_ctx.app ctx and clustering = Sched_ctx.clustering ctx in
+  match Context_scheduler.plan_ctx config (Sched_ctx.analysis ctx) with
+  | Error e -> Error ("ds: " ^ e)
+  | Ok ctx_plan -> (
+    match
+      reuse_factor_of_splits ~alloc_efficiency config
+        ~iterations:app.Kernel_ir.Application.iterations
+        (Sched_ctx.splits_list ctx)
+    with
+    | 0 ->
+      Error
+        (Printf.sprintf
+           "ds: some cluster's DS(C)=%dw exceeds the packable %dw of the FB \
+            set"
+           (Msutil.Listx.max_by (fun x -> x) (Sched_ctx.footprints_list ctx))
+           (packable_words alloc_efficiency config))
+    | rf_max ->
+      (* Same RF choice as [best_by_rf], but each candidate factor is
+         costed with [Step_builder.estimate] (identical cycles) and only
+         the winning schedule is materialised. *)
+      let analysis = Sched_ctx.analysis ctx in
+      let selectors = Xfer_gen.plain_selectors_ctx analysis in
+      let best_rf, best_cycles =
+        List.fold_left
+          (fun acc rf ->
+            let cycles =
+              Step_builder.estimate config app clustering ~rf ~ctx_plan
+                ~selectors
+            in
+            match acc with
+            | Some (_, best_cycles) when best_cycles < cycles -> acc
+            | _ -> Some (rf, cycles))
+          None
+          (List.init rf_max (fun i -> i + 1))
+        |> Option.get
+      in
+      Log.debug (fun m ->
+          m "chose rf=%d (%d cycles) out of rf_max=%d" best_rf best_cycles
+            rf_max);
+      Ok
+        (Step_builder.build config app clustering ~rf:best_rf ~ctx_plan
+           ~generators:(Xfer_gen.plain_ctx analysis)
+           ~scheduler:"ds"))
+
+let schedule ?alloc_efficiency config app clustering =
+  schedule_ctx ?alloc_efficiency config (Sched_ctx.make app clustering)

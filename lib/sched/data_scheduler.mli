@@ -27,7 +27,29 @@ val schedule :
   (Schedule.t, string) result
 (** [Error] when even RF = 1 does not fit (some [DS(C)] exceeds the packable
     fraction of the FB set) or the context memory cannot hold some cluster.
+    Builds a {!Sched_ctx} internally; callers scheduling the same
+    [(app, clustering)] repeatedly should build one and use
+    {!schedule_ctx}.
     @raise Invalid_argument if [alloc_efficiency] is outside (0, 1]. *)
+
+val schedule_ctx :
+  ?alloc_efficiency:float ->
+  Morphosys.Config.t ->
+  Sched_ctx.t ->
+  (Schedule.t, string) result
+(** {!schedule} over a precomputed scheduling context — O(1) profile and
+    DS-formula lookups instead of recomputing them from the application. *)
+
+val schedule_reference :
+  ?alloc_efficiency:float ->
+  Morphosys.Config.t ->
+  Kernel_ir.Application.t ->
+  Kernel_ir.Cluster.clustering ->
+  (Schedule.t, string) result
+(** The original list-based implementation, retained verbatim as the
+    equivalence oracle for the indexed path (and as the baseline the
+    scaling bench times against). Produces schedules byte-identical to
+    {!schedule}. *)
 
 val footprints :
   Kernel_ir.Application.t -> Kernel_ir.Cluster.clustering -> int list

@@ -25,6 +25,15 @@ val by_simulation : ?pinned:Kernel_ir.Data.t list -> Kernel_ir.Info_extractor.cl
     front, adding each kernel's outputs when it executes and releasing
     objects after their last in-cluster use; reports the peak residency. *)
 
+val closed_form_fast :
+  ?pinned:Kernel_ir.Data.t list ->
+  Kernel_ir.Info_extractor.cluster_profile ->
+  int
+(** Same value as {!closed_form}, computed in one linear sweep with
+    difference arrays instead of one quadratic pass per kernel position —
+    the form the indexed scheduler paths use. Property-tested equal to
+    {!closed_form} and {!by_simulation}. *)
+
 val split :
   ?pinned:Kernel_ir.Data.t list ->
   Kernel_ir.Info_extractor.cluster_profile ->
@@ -34,6 +43,12 @@ val split :
     regardless of the reuse factor, everything else per iteration; the space
     constraint is [rf * per_iteration + constant <= fb_set_size]. Without
     invariant data, [split p = (closed_form p, 0)]. *)
+
+val split_fast :
+  ?pinned:Kernel_ir.Data.t list ->
+  Kernel_ir.Info_extractor.cluster_profile ->
+  int * int
+(** Same pair as {!split}, evaluated through {!closed_form_fast}. *)
 
 val footprint_basic : Kernel_ir.Info_extractor.cluster_profile -> int
 (** The Basic Scheduler's footprint: no replacement — all inputs and all

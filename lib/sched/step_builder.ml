@@ -10,6 +10,16 @@ type generators = {
     Cluster.t -> round:int -> iters:int -> base_iter:int -> Dma.t list;
 }
 
+(* The object-level view behind a [generators]: which data objects a
+   cluster loads / stores in a given round. The transfer lists are derived
+   mechanically from these (one instance per iteration, one for an
+   invariant object), so a cost can be computed from the objects alone
+   without materialising labelled transfers — see [estimate]. *)
+type selectors = {
+  load_objects : Cluster.t -> round:int -> Kernel_ir.Data.t list;
+  store_objects : Cluster.t -> round:int -> Kernel_ir.Data.t list;
+}
+
 type execution = {
   cluster : Cluster.t;
   round : int;
@@ -130,3 +140,76 @@ let build ?(cross_set = false) config app clustering ~rf ~ctx_plan ~generators
     cross_set;
     steps = List.rev !steps;
   }
+
+(* Exactly [Schedule_cost.estimate config (build ... ~generators)] for the
+   generators derived from [selectors], computed from per-execution
+   (cost, transfer-count) aggregates: an object contributes one instance
+   per iteration of the round (one total when invariant), and every
+   instance costs [dma_setup + words * per-word]. Replicates [build]'s step
+   structure — prime, per-execution overlap/stall partition, final drain —
+   without materialising any transfer list, so scheduler RF searches can
+   rank every candidate factor and build only the winner. *)
+let estimate (config : Morphosys.Config.t) app clustering ~rf ~ctx_plan
+    ~selectors =
+  if rf < 1 then invalid_arg "Step_builder.estimate: rf must be >= 1";
+  let execs = Array.of_list (executions app clustering ~rf) in
+  let s_max = Array.length execs in
+  let data_cost words =
+    config.Morphosys.Config.dma_setup_cycles
+    + (words * config.Morphosys.Config.data_cycles_per_word)
+  in
+  let agg objects ~iters =
+    List.fold_left
+      (fun (cost, count) (d : Kernel_ir.Data.t) ->
+        let inst = if d.Kernel_ir.Data.invariant then 1 else iters in
+        (cost + (inst * data_cost d.Kernel_ir.Data.size), count + inst))
+      (0, 0) objects
+  in
+  let loads =
+    Array.map
+      (fun e -> agg (selectors.load_objects e.cluster ~round:e.round) ~iters:e.iters)
+      execs
+  in
+  let stores =
+    Array.map
+      (fun e ->
+        agg (selectors.store_objects e.cluster ~round:e.round) ~iters:e.iters)
+      execs
+  in
+  let ctx =
+    Array.map
+      (fun e ->
+        let words =
+          Context_scheduler.load_words_for_round ctx_plan ~app ~clustering
+            ~cluster:e.cluster ~round:e.round
+        in
+        if words = 0 then (0, 0)
+        else
+          ( config.Morphosys.Config.dma_setup_cycles
+            + (words * config.Morphosys.Config.context_cycles_per_word),
+            1 ))
+      execs
+  in
+  let get arr s = if s < 0 || s >= s_max then (0, 0) else arr.(s) in
+  let set_of s = execs.(s).cluster.Cluster.fb_set in
+  (* prime step: pure DMA, nothing to overlap with *)
+  let total = ref (fst (get ctx 0) + fst (get loads 0)) in
+  for s = 0 to s_max - 1 do
+    let set = set_of s in
+    let ov = ref (fst (get ctx (s + 1))) in
+    let def_cost = ref 0 and def_count = ref 0 in
+    let route (cost, count) ~conflicts =
+      if conflicts then begin
+        def_cost := !def_cost + cost;
+        def_count := !def_count + count
+      end
+      else ov := !ov + cost
+    in
+    route (get stores (s - 1)) ~conflicts:(s - 1 >= 0 && set_of (s - 1) = set);
+    route (get loads (s + 1)) ~conflicts:(s + 1 < s_max && set_of (s + 1) = set);
+    total := !total + max !ov (compute_cycles config app execs.(s));
+    if !def_count > 0 then total := !total + !def_cost
+  done;
+  let drain_cost, drain_count = get stores (s_max - 1) in
+  if drain_count > 0 then total := !total + drain_cost;
+  !total

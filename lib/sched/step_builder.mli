@@ -21,6 +21,15 @@ type generators = {
       (** results to drain from the cluster's set after it runs *)
 }
 
+type selectors = {
+  load_objects : Kernel_ir.Cluster.t -> round:int -> Kernel_ir.Data.t list;
+      (** the objects behind [generators.loads] for that cluster/round *)
+  store_objects : Kernel_ir.Cluster.t -> round:int -> Kernel_ir.Data.t list;
+}
+(** The object-level view behind a {!generators}: the transfer lists are
+    one instance per (object, iteration) — one total for an invariant
+    object — so {!estimate} can cost a schedule from the objects alone. *)
+
 val build :
   ?cross_set:bool ->
   Morphosys.Config.t ->
@@ -33,3 +42,18 @@ val build :
   Schedule.t
 (** @raise Invalid_argument if [rf < 1]. [cross_set] is recorded in the
     schedule for the validator (default false). *)
+
+val estimate :
+  Morphosys.Config.t ->
+  Kernel_ir.Application.t ->
+  Kernel_ir.Cluster.clustering ->
+  rf:int ->
+  ctx_plan:Context_scheduler.plan ->
+  selectors:selectors ->
+  int
+(** Exactly [Schedule_cost.estimate config (build ...)] for the generators
+    derived from [selectors], computed without materialising any transfer
+    list — the cheap inner loop of the schedulers' RF searches (they rank
+    every candidate RF with this and build only the winning schedule).
+    The equivalence suite checks the agreement on random applications.
+    @raise Invalid_argument if [rf < 1]. *)

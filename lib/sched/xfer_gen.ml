@@ -22,30 +22,72 @@ let stores_for_objects ~set ~objects ~iters ~base_iter =
   instances ~objects ~iters ~base_iter (fun ~label ~words ->
       Dma.data_store ~set ~label ~words)
 
+(* Every generator is the mechanical expansion of a [Step_builder.selectors]
+   — same object choice, one labelled transfer per instance — so the
+   selectors stay the single source of truth for both the transfer lists
+   and the schedulers' cheap cost estimates. *)
+let generators_of_selectors (sel : Step_builder.selectors) =
+  {
+    Step_builder.loads =
+      (fun c ~round ~iters ~base_iter ->
+        loads_for_objects ~set:c.Kernel_ir.Cluster.fb_set
+          ~objects:(sel.Step_builder.load_objects c ~round)
+          ~iters ~base_iter);
+    stores =
+      (fun c ~round ~iters ~base_iter ->
+        stores_for_objects ~set:c.Kernel_ir.Cluster.fb_set
+          ~objects:(sel.Step_builder.store_objects c ~round)
+          ~iters ~base_iter);
+  }
+
+let selectors_of ~profile_of ~stored_objects =
+  {
+    Step_builder.load_objects =
+      (fun c ~round:_ -> (profile_of c).IE.external_inputs);
+    store_objects = (fun c ~round:_ -> stored_objects (profile_of c));
+  }
+
+let generators_of ~profile_of ~stored_objects =
+  generators_of_selectors (selectors_of ~profile_of ~stored_objects)
+
 let make_generators app clustering ~stored_objects =
   let profiles = IE.profiles app clustering in
   let profile_of (c : Kernel_ir.Cluster.t) =
     List.nth profiles c.Kernel_ir.Cluster.id
   in
-  {
-    Step_builder.loads =
-      (fun c ~round:_ ~iters ~base_iter ->
-        loads_for_objects ~set:c.Kernel_ir.Cluster.fb_set
-          ~objects:(profile_of c).IE.external_inputs ~iters ~base_iter);
-    stores =
-      (fun c ~round:_ ~iters ~base_iter ->
-        stores_for_objects ~set:c.Kernel_ir.Cluster.fb_set
-          ~objects:(stored_objects (profile_of c)) ~iters ~base_iter);
-  }
+  generators_of ~profile_of ~stored_objects
+
+let ctx_profile_of (analysis : Kernel_ir.Analysis.t) (c : Kernel_ir.Cluster.t) =
+  Kernel_ir.Analysis.profile analysis c.Kernel_ir.Cluster.id
+
+let make_generators_ctx analysis ~stored_objects =
+  generators_of ~profile_of:(ctx_profile_of analysis) ~stored_objects
+
+let stored_outliving (p : IE.cluster_profile) = p.IE.outliving
+
+let stored_everything (p : IE.cluster_profile) =
+  List.concat_map
+    (fun kp -> kp.IE.rout_objects @ List.map fst kp.IE.intermediate_objects)
+    p.IE.kernel_profiles
 
 let plain app clustering =
-  make_generators app clustering ~stored_objects:(fun p -> p.IE.outliving)
+  make_generators app clustering ~stored_objects:stored_outliving
 
 let store_everything app clustering =
-  let produced (p : IE.cluster_profile) =
-    List.concat_map
-      (fun kp ->
-        kp.IE.rout_objects @ List.map fst kp.IE.intermediate_objects)
-      p.IE.kernel_profiles
-  in
-  make_generators app clustering ~stored_objects:produced
+  make_generators app clustering ~stored_objects:stored_everything
+
+let plain_ctx analysis =
+  make_generators_ctx analysis ~stored_objects:stored_outliving
+
+let store_everything_ctx analysis =
+  make_generators_ctx analysis ~stored_objects:stored_everything
+
+let plain_selectors_ctx analysis =
+  selectors_of
+    ~profile_of:(ctx_profile_of analysis)
+    ~stored_objects:stored_outliving
+
+let store_everything_selectors_ctx analysis =
+  selectors_of
+    ~profile_of:(ctx_profile_of analysis)
+    ~stored_objects:stored_everything

@@ -18,6 +18,28 @@ val store_everything :
     intermediates included — is written back to external memory (no
     liveness analysis, the "no data reuse" baseline). *)
 
+val plain_ctx : Kernel_ir.Analysis.t -> Step_builder.generators
+(** {!plain} over a precomputed analysis context: profiles come from the
+    context's O(1) by-id array instead of a fresh
+    {!Kernel_ir.Info_extractor.profiles} list walk. *)
+
+val store_everything_ctx : Kernel_ir.Analysis.t -> Step_builder.generators
+(** {!store_everything} over a precomputed analysis context. *)
+
+val plain_selectors_ctx : Kernel_ir.Analysis.t -> Step_builder.selectors
+(** The object selection behind {!plain_ctx}, for
+    {!Step_builder.estimate}. *)
+
+val store_everything_selectors_ctx :
+  Kernel_ir.Analysis.t -> Step_builder.selectors
+(** The object selection behind {!store_everything_ctx}. *)
+
+val generators_of_selectors :
+  Step_builder.selectors -> Step_builder.generators
+(** Mechanical expansion of an object selection into labelled transfer
+    lists: one transfer per (object, iteration) instance, one total for an
+    invariant object. *)
+
 val loads_for_objects :
   set:Morphosys.Frame_buffer.set ->
   objects:Kernel_ir.Data.t list ->

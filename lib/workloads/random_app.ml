@@ -89,6 +89,76 @@ let gen_app ?(min_kernels = 2) ?(max_kernels = 6) ?(max_data = 8)
   in
   pure (B.build b)
 
+(* Deterministic large application for the scaling benchmarks: [seed]
+   (together with the size parameters) fully determines the result — no
+   QCheck state involved. [data] counts the extra shared/result objects on
+   top of the per-kernel private input and final, so the total object count
+   is [2 * kernels + data]. Shared objects span small windows of nearby
+   kernels, giving the retention pass realistic local candidates. *)
+let large ~kernels ~data ~seed =
+  if kernels < 1 then invalid_arg "Random_app.large: kernels must be >= 1";
+  if data < 0 then invalid_arg "Random_app.large: data must be >= 0";
+  let st = Random.State.make [| 0x5eed; seed; kernels; data |] in
+  let int lo hi = lo + Random.State.int st (hi - lo + 1) in
+  let b =
+    ref
+      (B.create
+         (Printf.sprintf "large-%dk-%dd-s%d" kernels data seed)
+         ~iterations:16)
+  in
+  for i = 0 to kernels - 1 do
+    b := B.kernel (kernel_name i) ~contexts:(int 16 48) ~cycles:(int 100 600) !b
+  done;
+  for i = 0 to kernels - 1 do
+    b :=
+      B.input (Printf.sprintf "in%d" i) ~size:(int 8 64)
+        ~consumers:[ kernel_name i ]
+        !b
+  done;
+  for i = 0 to data - 1 do
+    let size = int 8 64 in
+    let kind = int 0 3 in
+    if kind <= 1 && kernels >= 2 then begin
+      (* shared input consumed by a window of nearby kernels *)
+      let first = int 0 (kernels - 2) in
+      let width = min (kernels - 1 - first) (int 1 4) in
+      let consumers =
+        List.init (width + 1) (fun j -> kernel_name (first + j))
+      in
+      let invariant = int 0 3 = 0 in
+      b := B.input ~invariant (Printf.sprintf "sh%d" i) ~size ~consumers !b
+    end
+    else if kind = 2 && kernels >= 2 then begin
+      (* result shared with a window of later kernels *)
+      let producer = int 0 (kernels - 2) in
+      let width = min (kernels - 1 - producer) (int 1 4) in
+      let consumers =
+        List.init width (fun j -> kernel_name (producer + 1 + j))
+      in
+      b :=
+        B.result (Printf.sprintf "r%d" i) ~final:(int 0 1 = 0) ~size
+          ~producer:(kernel_name producer) ~consumers !b
+    end
+    else
+      b :=
+        B.final (Printf.sprintf "f%d" i) ~size
+          ~producer:(kernel_name (int 0 (kernels - 1)))
+          !b
+  done;
+  for i = 0 to kernels - 1 do
+    b := B.final (Printf.sprintf "out%d" i) ~size:16 ~producer:(kernel_name i) !b
+  done;
+  B.build !b
+
+(* Kernels clustered two by two in execution order (trailing singleton when
+   odd) — the deterministic clustering the scaling bench schedules. *)
+let pairs_clustering app =
+  let n = Kernel_ir.Application.n_kernels app in
+  let rec sizes r =
+    if r = 0 then [] else if r = 1 then [ 1 ] else 2 :: sizes (r - 2)
+  in
+  Cluster.of_partition app (sizes n)
+
 let gen_clustering app =
   let open Gen in
   let n = Kernel_ir.Application.n_kernels app in

@@ -14,6 +14,20 @@ val gen_app :
     kernel consumes at least one object and every object has a legal
     producer/consumer relation. *)
 
+val large :
+  kernels:int -> data:int -> seed:int -> Kernel_ir.Application.t
+(** Deterministic large application for scaling benchmarks: the same
+    [(kernels, data, seed)] triple always builds the same application.
+    [data] counts extra shared/result objects beyond the per-kernel
+    private input and final, so the app holds [2 * kernels + data] data
+    objects. Shared objects span windows of nearby kernels.
+    @raise Invalid_argument if [kernels < 1] or [data < 0]. *)
+
+val pairs_clustering :
+  Kernel_ir.Application.t -> Kernel_ir.Cluster.clustering
+(** Kernels grouped two by two in execution order (trailing singleton when
+    the count is odd) — a deterministic clustering for benchmarks. *)
+
 val gen_clustering :
   Kernel_ir.Application.t -> Kernel_ir.Cluster.clustering QCheck.Gen.t
 (** A random partition of the application's kernel sequence. *)

@@ -30,5 +30,6 @@ let () =
       Test_engine.tests;
       Test_dse_parallel.tests;
       Test_fuzz_oracle.tests;
+      Test_analysis.tests;
       Test_misc_coverage.tests;
     ]
