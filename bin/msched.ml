@@ -182,7 +182,16 @@ let run_cmd =
        $ no_retention_arg))
 
 let compare_cmd =
-  let run name file fb cm partition auto =
+  let degrade_arg =
+    Arg.(
+      value & flag
+      & info [ "degrade" ]
+          ~doc:
+            "Graceful degradation: never abort — fall back CDS, DS, Basic \
+             and print the degradation chain with each tier's structured \
+             diagnostic.")
+  in
+  let run name file fb cm partition auto degrade =
     match resolve_source ~name ~file with
     | Error e -> `Error (false, e)
     | Ok source -> (
@@ -191,7 +200,7 @@ let compare_cmd =
       match clustering_of source ~partition ~auto ~config with
       | Error e -> `Error (false, e)
       | Ok clustering ->
-        let c = Cds.Pipeline.run config app clustering in
+        let c = Cds.Pipeline.run ~degrade config app clustering in
         let report label = function
           | Ok (s : Cds.Pipeline.scheduled) ->
             Format.printf "%-6s %a@." label Msim.Metrics.pp
@@ -207,6 +216,9 @@ let compare_cmd =
         | Some ds, Some cds ->
           Format.printf "improvement over basic: ds %.1f%%, cds %.1f%%@." ds cds
         | _ -> ());
+        (match c.Cds.Pipeline.degradation with
+        | Some d -> Format.printf "%a" Cds.Pipeline.pp_degradation d
+        | None -> ());
         `Ok ())
   in
   Cmd.v
@@ -214,7 +226,7 @@ let compare_cmd =
     Term.(
       ret
         (const run $ workload_arg $ file_arg $ fb_arg $ cm_arg $ partition_arg
-       $ auto_arg))
+       $ auto_arg $ degrade_arg))
 
 let alloc_cmd =
   let run name file fb cm partition =
@@ -345,6 +357,51 @@ let jobs_arg =
 let resolve_jobs jobs =
   if jobs <= 0 then Engine.Pool.recommended_jobs () else jobs
 
+(* -- deterministic fault injection (Engine.Faults) ---------------------- *)
+
+let fault_rate_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "fault-rate" ] ~docv:"R"
+        ~doc:
+          "Arm deterministic fault injection with per-visit firing \
+           probability R in [0,1] (0 disables). Injected faults must \
+           surface as structured diagnostics, never as crashes.")
+
+let fault_seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "fault-seed" ] ~docv:"S"
+        ~doc:"Seed of the fault plan; firings are reproducible from it.")
+
+let fault_sites_arg =
+  Arg.(
+    value & opt (list ~sep:',' string) []
+    & info [ "fault-sites" ] ~docv:"SITES"
+        ~doc:
+          "Restrict injection to these sites (comma-separated out of \
+           $(b,pool), $(b,cache), $(b,sched)); default: all sites.")
+
+let fault_retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "fault-retries" ] ~docv:"N"
+        ~doc:
+          "Retry a pool task felled by an injected fault up to N times \
+           (injected faults are transient by construction).")
+
+let arm_faults ~rate ~seed ~sites =
+  if rate > 0. then begin
+    Engine.Faults.arm (Engine.Faults.plan ~sites ~rate ~seed ());
+    true
+  end
+  else false
+
+let report_faults armed =
+  if armed then
+    Format.eprintf "injected faults fired: %d@."
+      (Engine.Faults.injected_count ())
+
 let stats_arg =
   Arg.(
     value & flag
@@ -384,7 +441,7 @@ let dse_cmd =
              steadies timings.")
   in
   let run name file partition fb_list cm_list setup_list jobs use_cache repeat
-      stats csv =
+      stats csv fault_rate fault_seed fault_sites fault_retries =
     match resolve_source ~name ~file with
     | Error e -> `Error (false, e)
     | Ok source -> (
@@ -394,13 +451,17 @@ let dse_cmd =
       | Error e -> `Error (false, e)
       | Ok clustering ->
         let jobs = resolve_jobs jobs in
+        let armed =
+          arm_faults ~rate:fault_rate ~seed:fault_seed ~sites:fault_sites
+        in
+        Fun.protect ~finally:Engine.Faults.disarm @@ fun () ->
         let cache =
           if use_cache then Some (Engine.Cache.create ()) else None
         in
         let st = if stats then Some (Engine.Stats.create ()) else None in
         let sweep () =
-          Report.Dse.sweep ~jobs ?cache ?stats:st ~cm_list ~setup_list
-            ~fb_list app clustering
+          Report.Dse.sweep ~jobs ~retries:fault_retries ?cache ?stats:st
+            ~cm_list ~setup_list ~fb_list app clustering
         in
         let points = ref (sweep ()) in
         for _ = 2 to max 1 repeat do
@@ -410,6 +471,7 @@ let dse_cmd =
         (match st with
         | Some st -> Format.eprintf "%a@." Engine.Stats.pp st
         | None -> ());
+        report_faults armed;
         `Ok ())
   in
   Cmd.v
@@ -421,7 +483,8 @@ let dse_cmd =
       ret
         (const run $ workload_arg $ file_arg $ partition_arg $ fb_list_arg
        $ cm_list_arg $ setup_list_arg $ jobs_arg $ cache_arg $ repeat_arg
-       $ stats_arg $ csv_arg))
+       $ stats_arg $ csv_arg $ fault_rate_arg $ fault_seed_arg
+       $ fault_sites_arg $ fault_retries_arg))
 
 let fuzz_cmd =
   let seed_arg =
@@ -442,21 +505,51 @@ let fuzz_cmd =
           ~doc:"Frame-buffer set size the random applications are \
                 scheduled against.")
   in
-  let run seed count fb jobs stats =
+  let hostile_arg =
+    Arg.(
+      value & flag
+      & info [ "hostile" ]
+          ~doc:
+            "Hostile mode: mutate the random applications into malformed \
+             ones and assert every failure is a structured diagnostic — \
+             any uncaught exception fails the run.")
+  in
+  let run seed count fb jobs stats hostile fault_rate fault_seed fault_sites
+      fault_retries =
     if count < 0 then `Error (false, "--count must be non-negative")
     else if fb <= 0 then `Error (false, "--fb must be positive")
     else begin
     let jobs = resolve_jobs jobs in
-    let st = if stats then Some (Engine.Stats.create ()) else None in
-    let report =
-      Report.Fuzz.run ~jobs ~fb_set_size:fb ?stats:st ~seed ~count ()
+    let armed =
+      arm_faults ~rate:fault_rate ~seed:fault_seed ~sites:fault_sites
     in
-    Format.printf "%a@." Report.Fuzz.pp report;
-    (match st with
-    | Some st -> Format.eprintf "%a@." Engine.Stats.pp st
-    | None -> ());
-    if Report.Fuzz.ok report then `Ok ()
-    else `Error (false, "fuzzing found scheduler bugs (see report above)")
+    Fun.protect ~finally:Engine.Faults.disarm @@ fun () ->
+    if hostile then begin
+      let report =
+        Report.Fuzz.run_hostile ~jobs ~retries:fault_retries ~fb_set_size:fb
+          ~seed ~count ()
+      in
+      Format.printf "%a@." Report.Fuzz.pp_hostile report;
+      report_faults armed;
+      if Report.Fuzz.hostile_ok report then `Ok ()
+      else
+        `Error
+          (false, "hostile fuzzing found uncaught exceptions (see above)")
+    end
+    else begin
+      let st = if stats then Some (Engine.Stats.create ()) else None in
+      let report =
+        Report.Fuzz.run ~jobs ~retries:fault_retries ~fb_set_size:fb
+          ?stats:st ~seed ~count ()
+      in
+      Format.printf "%a@." Report.Fuzz.pp report;
+      (match st with
+      | Some st -> Format.eprintf "%a@." Engine.Stats.pp st
+      | None -> ());
+      report_faults armed;
+      if Report.Fuzz.ok report then `Ok ()
+      else `Error (false, "fuzzing found scheduler bugs (see report above)")
+    end
     end
   in
   Cmd.v
@@ -464,9 +557,13 @@ let fuzz_cmd =
        ~doc:
          "Differential fuzzing: schedule random applications with Basic, \
           DS and CDS on the worker pool and referee every schedule with \
-          the semantic validator")
+          the semantic validator; $(b,--hostile) feeds the stack mutated \
+          invalid applications instead")
     Term.(
-      ret (const run $ seed_arg $ count_arg $ fb_arg $ jobs_arg $ stats_arg))
+      ret
+        (const run $ seed_arg $ count_arg $ fb_arg $ jobs_arg $ stats_arg
+       $ hostile_arg $ fault_rate_arg $ fault_seed_arg $ fault_sites_arg
+       $ fault_retries_arg))
 
 let table1_cmd =
   let csv_arg =

@@ -50,9 +50,9 @@ let release_if_placed state set ~name ~g =
 (* Does some retained candidate keep this object in [set] beyond cluster
    [cid]? Then its space must not be released yet. *)
 let pinned_beyond state set ~cid (name : string) app =
-  match Kernel_ir.Application.data_by_name app name with
-  | exception Not_found -> false
-  | d ->
+  match Kernel_ir.Application.data_by_name_opt app name with
+  | None -> false
+  | Some d ->
     List.exists
       (fun (c : Sharing.t) ->
         c.Sharing.set = set

@@ -155,13 +155,19 @@ let schedule_reference ?(retention = true) ?(cross_set = false)
             decision.Retention.avoided_words_per_iteration;
         })
 
-let schedule_ctx ?(retention = true) ?(cross_set = false)
+let schedule_ctx_diag ?(retention = true) ?(cross_set = false)
     (config : Morphosys.Config.t) (ctx : Sched.Sched_ctx.t) =
+  match Engine.Faults.hit "sched" with
+  | exception Engine.Faults.Injected site ->
+    Error
+      (Diag.v ~scheduler:"cds" Diag.Fault_injected
+         "injected fault at scheduler entry (%s)" site)
+  | () -> (
   let app = Sched.Sched_ctx.app ctx in
   let clustering = Sched.Sched_ctx.clustering ctx in
   let analysis = Sched.Sched_ctx.analysis ctx in
-  match Sched.Context_scheduler.plan_ctx config analysis with
-  | Error e -> Error ("cds: " ^ e)
+  match Sched.Context_scheduler.plan_ctx_diag config analysis with
+  | Error d -> Error (Diag.with_scheduler "cds" d)
   | Ok ctx_plan -> (
     match
       Sched.Reuse_factor.common_split ~fb_set_size:config.fb_set_size
@@ -170,8 +176,8 @@ let schedule_ctx ?(retention = true) ?(cross_set = false)
     with
     | 0 ->
       Error
-        (Printf.sprintf
-           "cds: some cluster's DS(C) exceeds the FB set of %dw"
+        (Diag.v ~scheduler:"cds" Diag.No_feasible_rf
+           "some cluster's DS(C) exceeds the FB set of %dw"
            config.fb_set_size)
     | rf_max ->
       let scheduler_name = if cross_set then "cds-xset" else "cds" in
@@ -216,7 +222,26 @@ let schedule_ctx ?(retention = true) ?(cross_set = false)
           rf = chosen.Sched.Schedule.rf;
           data_words_avoided_per_iteration =
             decision.Retention.avoided_words_per_iteration;
-        })
+        }))
+
+let schedule_ctx ?retention ?cross_set config ctx =
+  Result.map_error Diag.to_string
+    (schedule_ctx_diag ?retention ?cross_set config ctx)
+
+let schedule_diag ?retention ?cross_set config app clustering =
+  schedule_ctx_diag ?retention ?cross_set config
+    (Sched.Sched_ctx.make app clustering)
 
 let schedule ?retention ?cross_set config app clustering =
   schedule_ctx ?retention ?cross_set config (Sched.Sched_ctx.make app clustering)
+
+(* Warning-severity diagnostics for retention candidates the TF test turned
+   down — surfaced by the pipeline's verbose mode, never fatal. *)
+let retention_diags (decision : Retention.decision) =
+  List.map
+    (fun (cand, reason) ->
+      let d = Sharing.data cand in
+      Diag.v ~severity:Diag.Warning ~scheduler:"cds" ~data:d.Data.name
+        Diag.Retention_rejected "candidate %S not retained: %s" d.Data.name
+        reason)
+    decision.Retention.rejected

@@ -50,6 +50,29 @@ val schedule_ctx :
     generators once, and the per-RF loop reuses generators when
     successive reuse factors retain the same candidate set. *)
 
+val schedule_diag :
+  ?retention:bool ->
+  ?cross_set:bool ->
+  Morphosys.Config.t ->
+  Kernel_ir.Application.t ->
+  Kernel_ir.Cluster.clustering ->
+  (result, Diag.t) Stdlib.result
+(** Structured variant of {!schedule}: failures are [No_feasible_rf] or
+    [Cm_overflow] diagnostics carrying the offending cluster where known.
+    The string APIs are shims over this via {!Diag.to_string}. *)
+
+val schedule_ctx_diag :
+  ?retention:bool ->
+  ?cross_set:bool ->
+  Morphosys.Config.t ->
+  Sched.Sched_ctx.t ->
+  (result, Diag.t) Stdlib.result
+(** {!schedule_diag} over a precomputed scheduling context. *)
+
+val retention_diags : Retention.decision -> Diag.t list
+(** One [Warning]-severity [Retention_rejected] diagnostic per candidate
+    the retention pass declined, carrying the data name and the reason. *)
+
 val schedule_reference :
   ?retention:bool ->
   ?cross_set:bool ->

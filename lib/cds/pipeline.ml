@@ -1,5 +1,12 @@
 type scheduled = { schedule : Sched.Schedule.t; metrics : Msim.Metrics.t }
 
+type tier = [ `Basic | `Ds | `Cds ]
+
+type degradation = {
+  delivered : tier option;
+  chain : (tier * Diag.t) list;
+}
+
 type comparison = {
   app : Kernel_ir.Application.t;
   config : Morphosys.Config.t;
@@ -7,33 +14,108 @@ type comparison = {
   basic : (scheduled, string) result;
   ds : (scheduled, string) result;
   cds : (scheduled * Complete_data_scheduler.result, string) result;
+  degradation : degradation option;
 }
+
+let tier_name = function `Basic -> "basic" | `Ds -> "ds" | `Cds -> "cds"
 
 let simulate ~validate config schedule =
   if validate then Msim.Validate.check_exn schedule;
   { schedule; metrics = Msim.Executor.run config schedule }
 
-let run ?(validate = true) ?(retention = true) ?(cross_set = false) config app
-    clustering =
+let run ?(validate = true) ?(retention = true) ?(cross_set = false)
+    ?(degrade = false) config app clustering =
   (* one analysis context serves all three scheduler paths *)
   let ctx = Sched.Sched_ctx.make app clustering in
-  let basic =
-    Result.map
-      (simulate ~validate config)
-      (Sched.Basic_scheduler.schedule_ctx config ctx)
-  in
-  let ds =
-    Result.map
-      (simulate ~validate config)
-      (Sched.Data_scheduler.schedule_ctx config ctx)
-  in
-  let cds =
-    Result.map
-      (fun (r : Complete_data_scheduler.result) ->
-        (simulate ~validate config r.Complete_data_scheduler.schedule, r))
-      (Complete_data_scheduler.schedule_ctx ~retention ~cross_set config ctx)
-  in
-  { app; config; clustering; basic; ds; cds }
+  if not degrade then
+    let basic =
+      Result.map
+        (simulate ~validate config)
+        (Sched.Basic_scheduler.schedule_ctx config ctx)
+    in
+    let ds =
+      Result.map
+        (simulate ~validate config)
+        (Sched.Data_scheduler.schedule_ctx config ctx)
+    in
+    let cds =
+      Result.map
+        (fun (r : Complete_data_scheduler.result) ->
+          (simulate ~validate config r.Complete_data_scheduler.schedule, r))
+        (Complete_data_scheduler.schedule_ctx ~retention ~cross_set config ctx)
+    in
+    { app; config; clustering; basic; ds; cds; degradation = None }
+  else
+    (* Graceful mode: nothing raises. Validation failures (and any other
+       exception a tier's path throws) become that tier's diagnostic and
+       the comparison records the CDS -> DS -> Basic degradation chain. *)
+    let sim ~scheduler schedule =
+      Diag.protect ~scheduler ~code:Diag.Sim_divergence (fun () ->
+          simulate ~validate config schedule)
+    in
+    let basic_d =
+      Result.bind
+        (Sched.Basic_scheduler.schedule_ctx_diag config ctx)
+        (sim ~scheduler:"basic")
+    in
+    let ds_d =
+      Result.bind
+        (Sched.Data_scheduler.schedule_ctx_diag config ctx)
+        (sim ~scheduler:"ds")
+    in
+    let cds_d =
+      Result.bind
+        (Complete_data_scheduler.schedule_ctx_diag ~retention ~cross_set
+           config ctx)
+        (fun (r : Complete_data_scheduler.result) ->
+          Result.map
+            (fun s -> (s, r))
+            (sim ~scheduler:"cds" r.Complete_data_scheduler.schedule))
+    in
+    let chain, delivered =
+      let rec walk acc = function
+        | [] -> (List.rev acc, None)
+        | (tier, Ok ()) :: _ -> (List.rev acc, Some tier)
+        | (tier, Error d) :: rest -> walk ((tier, d) :: acc) rest
+      in
+      walk []
+        [
+          (`Cds, Result.map ignore cds_d);
+          (`Ds, Result.map ignore ds_d);
+          (`Basic, Result.map ignore basic_d);
+        ]
+    in
+    {
+      app;
+      config;
+      clustering;
+      basic = Result.map_error Diag.to_string basic_d;
+      ds = Result.map_error Diag.to_string ds_d;
+      cds = Result.map_error Diag.to_string cds_d;
+      degradation = Some { delivered; chain };
+    }
+
+let degraded_schedule t =
+  match t.degradation with
+  | None | Some { delivered = None; _ } -> None
+  | Some { delivered = Some tier; _ } ->
+    let scheduled =
+      match tier with
+      | `Cds -> Result.to_option t.cds |> Option.map fst
+      | `Ds -> Result.to_option t.ds
+      | `Basic -> Result.to_option t.basic
+    in
+    Option.map (fun s -> (tier, s)) scheduled
+
+let pp_degradation fmt d =
+  List.iter
+    (fun (tier, diag) ->
+      Format.fprintf fmt "%s unavailable: %s@." (tier_name tier)
+        (Diag.render diag))
+    d.chain;
+  match d.delivered with
+  | Some tier -> Format.fprintf fmt "delivered by %s@." (tier_name tier)
+  | None -> Format.fprintf fmt "no scheduler tier is feasible@."
 
 let improvement t which =
   match (t.basic, which) with

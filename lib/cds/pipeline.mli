@@ -5,6 +5,18 @@
 
 type scheduled = { schedule : Sched.Schedule.t; metrics : Msim.Metrics.t }
 
+type tier = [ `Basic | `Ds | `Cds ]
+(** The degradation ladder, best first: CDS, then DS, then Basic. *)
+
+type degradation = {
+  delivered : tier option;
+      (** the best tier that produced a valid simulated schedule; [None]
+          when even Basic is infeasible *)
+  chain : (tier * Diag.t) list;
+      (** the failures encountered walking CDS -> DS -> Basic, in order,
+          up to (excluding) the delivered tier *)
+}
+
 type comparison = {
   app : Kernel_ir.Application.t;
   config : Morphosys.Config.t;
@@ -12,12 +24,18 @@ type comparison = {
   basic : (scheduled, string) result;
   ds : (scheduled, string) result;
   cds : (scheduled * Complete_data_scheduler.result, string) result;
+  degradation : degradation option;
+      (** [Some] iff the comparison was produced by [run ~degrade:true] *)
 }
+
+val tier_name : tier -> string
+(** ["basic"] / ["ds"] / ["cds"]. *)
 
 val run :
   ?validate:bool ->
   ?retention:bool ->
   ?cross_set:bool ->
+  ?degrade:bool ->
   Morphosys.Config.t ->
   Kernel_ir.Application.t ->
   Kernel_ir.Cluster.clustering ->
@@ -25,7 +43,23 @@ val run :
 (** Schedules the application three ways on the given clustering and
     simulates each result. With [validate] (default true) every produced
     schedule is checked by {!Msim.Validate} first.
-    @raise Failure if validation finds a violation (a scheduler bug). *)
+
+    With [degrade] (default false) the pipeline never raises: each tier's
+    failure — infeasibility, validation divergence, any exception — is
+    captured as a structured diagnostic, and [degradation] records the
+    CDS -> DS -> Basic fallback chain together with the tier that finally
+    delivered ({!degraded_schedule}).
+    @raise Failure if validation finds a violation (a scheduler bug) and
+    [degrade] is false. *)
+
+val degraded_schedule : comparison -> (tier * scheduled) option
+(** The schedule the degradation ladder delivered — the best feasible tier
+    — or [None] when every tier failed (or [run] ran without [~degrade]
+    and the delivered tier cannot be identified). *)
+
+val pp_degradation : Format.formatter -> degradation -> unit
+(** Renders the chain, one ["<tier> unavailable: <diag>"] line per failed
+    tier, then the delivering tier. *)
 
 val improvement : comparison -> [ `Ds | `Cds ] -> float option
 (** Relative execution improvement over the Basic Scheduler in percent

@@ -88,9 +88,9 @@ let rounds_of_steps steps =
 
 let relify ~app ~base program =
   let invariant name =
-    match Application.data_by_name app name with
-    | d -> d.Kernel_ir.Data.invariant
-    | exception Not_found -> false
+    match Application.data_by_name_opt app name with
+    | Some d -> d.Kernel_ir.Data.invariant
+    | None -> false
   in
   List.filter_map
     (fun insn ->

@@ -14,6 +14,7 @@ let with_lock t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
 let find t key =
+  Faults.hit "cache";
   with_lock t (fun () ->
       match Hashtbl.find_opt t.table key with
       | Some _ as hit ->
@@ -35,7 +36,21 @@ let intern t key v =
 let add t key v = ignore (intern t key v)
 
 let find_or_add t key f =
-  match find t key with Some v -> v | None -> intern t key (f ())
+  match find t key with
+  | Some v -> v
+  | None -> (
+    (* [f] runs outside the lock. If it raises, roll the miss counter
+       back: the lookup that retries this key will count the miss again,
+       so one logical computation is never counted as two misses. *)
+    match f () with
+    | v -> intern t key v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      with_lock t (fun () -> t.misses <- t.misses - 1);
+      Printexc.raise_with_backtrace e bt)
+  (* An injected lookup fault (Faults site "cache") degrades to a miss:
+     compute without touching the counters and intern the result. *)
+  | exception Faults.Injected _ -> intern t key (f ())
 
 let length t = with_lock t (fun () -> Hashtbl.length t.table)
 let hits t = with_lock t (fun () -> t.hits)

@@ -12,7 +12,9 @@ type 'a t
 val create : ?size_hint:int -> unit -> 'a t
 
 val find : 'a t -> string -> 'a option
-(** Thread-safe lookup; bumps the hit or miss counter. *)
+(** Thread-safe lookup; bumps the hit or miss counter. Carries the
+    {!Faults} injection site ["cache"]: under an armed fault plan a
+    lookup may raise [Faults.Injected]. *)
 
 val add : 'a t -> string -> 'a -> unit
 (** Intern a value; a no-op if the key is already present. *)
@@ -21,7 +23,13 @@ val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
 (** [find_or_add t key f] returns the cached value, or runs [f] and
     interns its result. [f] runs outside the lock, so two workers racing
     on the same key may both compute — but both then observe the single
-    interned value, keeping results consistent. *)
+    interned value, keeping results consistent.
+
+    If [f] raises, the miss counter is rolled back before the exception
+    propagates, so the retry that eventually fills the key counts one
+    miss, not two. An injected lookup fault ([Faults] site ["cache"])
+    degrades to a counter-neutral miss: the value is recomputed and
+    interned instead of the fault escaping. *)
 
 val length : 'a t -> int
 val hits : 'a t -> int

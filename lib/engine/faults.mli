@@ -1,0 +1,45 @@
+(** Deterministic seeded fault injection.
+
+    A {!plan} decides, purely from [(seed, site, n)], whether the [n]-th
+    visit to an injection site raises {!Injected}: the set of firing
+    visits is reproducible from the seed alone, whatever domain or task
+    reaches the site (under parallel runs the *assignment* of firings to
+    tasks follows the interleaving, but the firing count for a given
+    number of visits does not). While no plan is armed every site is a
+    single atomic load — the production fast path.
+
+    Injection sites in this codebase:
+    - ["pool"] — entry of every {!Pool} task;
+    - ["cache"] — {!Cache.find} lookups ({!Cache.find_or_add} degrades an
+      injected lookup fault to a miss and recomputes);
+    - ["sched"] — entry of the Basic/DS/CDS scheduler [_diag] paths,
+      which convert the fault into a [Fault_injected] diagnostic. *)
+
+exception Injected of string
+(** [Injected "site#n"] — the injected failure. Transient by
+    construction: the visit counter has advanced, so a bounded retry
+    (see {!Pool.run_results}) usually succeeds. *)
+
+type plan = { seed : int; rate : float; sites : string list }
+
+val plan : ?sites:string list -> ?rate:float -> seed:int -> unit -> plan
+(** [sites = []] (default) injects at every site; [rate] (default 0.05)
+    is the per-visit firing probability.
+    @raise Invalid_argument if [rate] is outside [0, 1]. *)
+
+val arm : plan -> unit
+(** Install the plan globally and reset the visit counters — a fresh
+    [arm] with the same plan reproduces the same firing sequence. *)
+
+val disarm : unit -> unit
+val armed : unit -> plan option
+
+val hit : string -> unit
+(** [hit site] registers a visit; raises {!Injected} when the armed plan
+    fires. A no-op when disarmed or when the site is filtered out. *)
+
+val injected_count : unit -> int
+(** Faults fired since the last {!arm}. *)
+
+val with_plan : plan -> (unit -> 'a) -> 'a
+(** [with_plan p f] arms [p], runs [f], and disarms whatever happens. *)

@@ -50,15 +50,27 @@ let kernel t id =
     invalid_arg (Printf.sprintf "Application.kernel: bad id %d" id);
   t.kernels.(id)
 
+let kernel_by_name_opt t name =
+  Array.find_opt (fun (k : Kernel.t) -> k.name = name) t.kernels
+
 let kernel_by_name t name =
-  match Array.find_opt (fun (k : Kernel.t) -> k.name = name) t.kernels with
+  match kernel_by_name_opt t name with
   | Some k -> k
-  | None -> raise Not_found
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Application.kernel_by_name: no kernel %S in app %S"
+         name t.name)
+
+let data_by_name_opt t name =
+  List.find_opt (fun (d : Data.t) -> d.name = name) t.data
 
 let data_by_name t name =
-  match List.find_opt (fun (d : Data.t) -> d.name = name) t.data with
+  match data_by_name_opt t name with
   | Some d -> d
-  | None -> raise Not_found
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Application.data_by_name: no data object %S in app %S"
+         name t.name)
 
 let inputs_of t kid = List.filter (fun d -> Data.consumed_by d kid) t.data
 

@@ -24,10 +24,14 @@ val kernel : t -> Kernel.id -> Kernel.t
 (** @raise Invalid_argument on out-of-range id. *)
 
 val kernel_by_name : t -> string -> Kernel.t
-(** @raise Not_found *)
+(** @raise Invalid_argument naming the missing kernel and the app. *)
+
+val kernel_by_name_opt : t -> string -> Kernel.t option
 
 val data_by_name : t -> string -> Data.t
-(** @raise Not_found *)
+(** @raise Invalid_argument naming the missing data object and the app. *)
+
+val data_by_name_opt : t -> string -> Data.t option
 
 val inputs_of : t -> Kernel.id -> Data.t list
 (** Data objects consumed by the kernel, ordered by data id. *)

@@ -47,15 +47,24 @@ let validate app clustering =
   then Error "cluster ids are not consecutive"
   else Ok ()
 
+let cluster_of_kernel_opt clustering kid =
+  List.find_opt (fun c -> List.mem kid c.kernels) clustering
+
 let cluster_of_kernel clustering kid =
-  match List.find_opt (fun c -> List.mem kid c.kernels) clustering with
+  match cluster_of_kernel_opt clustering kid with
   | Some c -> c
-  | None -> raise Not_found
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Cluster.cluster_of_kernel: kernel %d is in no cluster"
+         kid)
+
+let find_opt clustering id = List.find_opt (fun c -> c.id = id) clustering
 
 let find clustering id =
-  match List.find_opt (fun c -> c.id = id) clustering with
+  match find_opt clustering id with
   | Some c -> c
-  | None -> raise Not_found
+  | None ->
+    invalid_arg (Printf.sprintf "Cluster.find: no cluster with id %d" id)
 
 let same_set a b = a.fb_set = b.fb_set
 let n_clusters = List.length

@@ -28,10 +28,18 @@ val validate : Application.t -> clustering -> (unit, string) result
     consecutive ids, and alternating set assignment. *)
 
 val cluster_of_kernel : clustering -> Kernel.id -> t
-(** @raise Not_found if the kernel is in no cluster. *)
+(** @raise Invalid_argument naming the kernel id if it is in no
+    cluster. *)
+
+val cluster_of_kernel_opt : clustering -> Kernel.id -> t option
 
 val find : clustering -> int -> t
-(** Cluster by id. @raise Not_found *)
+(** Cluster by id. @raise Invalid_argument naming the id. *)
+
+val find_opt : clustering -> int -> t option
+
+val set_of_index : int -> Morphosys.Frame_buffer.set
+(** The FB set the alternating discipline assigns to cluster [id]. *)
 
 val same_set : t -> t -> bool
 val n_clusters : clustering -> int

@@ -1,0 +1,60 @@
+(** Total pre-flight checking of applications, clusterings and machine
+    configurations.
+
+    The [make] constructors ({!Application.make}, {!Data.make},
+    {!Cluster.of_partition}, [Morphosys.Config.make]) raise
+    [Invalid_argument] on the {e first} violation they meet — right for
+    programmatic construction, useless for triaging a malformed input.
+    This module re-states every constructor invariant as a {e total}
+    check that collects {e all} violations of an input as structured
+    {!Diag.t} values (codes [Invalid_app] / [Invalid_clustering] /
+    [Invalid_config], with the offending kernel/data/cluster recorded)
+    and never raises.
+
+    An input for which {!application} returns [[]] is guaranteed to be
+    accepted by {!Application.make}; the hostile fuzzer
+    ([msched fuzz --hostile]) enforces that completeness claim on
+    mutated random applications. *)
+
+val application :
+  name:string ->
+  kernels:Kernel.t list ->
+  data:Data.t list ->
+  iterations:int ->
+  Diag.t list
+(** All violations of the raw application ingredients: positive
+    iterations, non-empty ordered kernel sequence, unique kernel/data
+    names and data ids, per-object {!Data.make} invariants, and
+    producer/consumer ids in range. *)
+
+val app : Application.t -> Diag.t list
+(** {!application} over an already-built value (expected [[]] — useful
+    for auditing values deserialised or built through unchecked
+    paths). *)
+
+val application_checked :
+  name:string ->
+  kernels:Kernel.t list ->
+  data:Data.t list ->
+  iterations:int ->
+  (Application.t, Diag.t list) result
+(** Validate, then construct. Never raises: if the checker passes an
+    input that {!Application.make} still rejects (a checker gap), the
+    exception is returned as a diagnostic too. *)
+
+val partition : n_kernels:int -> int list -> Diag.t list
+(** Violations of a cluster-size partition ({!Cluster.of_partition}
+    preconditions): positive sizes summing to the kernel count. *)
+
+val clustering : Application.t -> Cluster.clustering -> Diag.t list
+(** Violations of a built clustering: kernel coverage in order,
+    consecutive ids, alternating FB sets. *)
+
+val config : Morphosys.Config.t -> Diag.t list
+
+val all :
+  ?config:Morphosys.Config.t ->
+  Application.t ->
+  Cluster.clustering ->
+  Diag.t list
+(** Every violation of a whole scheduling problem. *)

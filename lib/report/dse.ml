@@ -8,21 +8,25 @@ type point = {
   total_cycles : int option;
   data_words : int option;
   context_words : int option;
+  diag : Diag.t option;
 }
 
+let infeasible ~fb ~cm ~setup ~scheduler diag =
+  {
+    fb_set_size = fb;
+    cm_capacity = cm;
+    dma_setup_cycles = setup;
+    scheduler;
+    feasible = false;
+    rf = None;
+    total_cycles = None;
+    data_words = None;
+    context_words = None;
+    diag = Some diag;
+  }
+
 let point_of_schedule config ~fb ~cm ~setup ~scheduler = function
-  | Error (_ : string) ->
-    {
-      fb_set_size = fb;
-      cm_capacity = cm;
-      dma_setup_cycles = setup;
-      scheduler;
-      feasible = false;
-      rf = None;
-      total_cycles = None;
-      data_words = None;
-      context_words = None;
-    }
+  | Error d -> infeasible ~fb ~cm ~setup ~scheduler d
   | Ok (s : Sched.Schedule.t) ->
     let m = Msim.Executor.run config s in
     {
@@ -35,6 +39,7 @@ let point_of_schedule config ~fb ~cm ~setup ~scheduler = function
       total_cycles = Some m.Msim.Metrics.total_cycles;
       data_words = Some (Msim.Metrics.data_words m);
       context_words = Some m.Msim.Metrics.context_words_loaded;
+      diag = None;
     }
 
 let schedulers = [ "basic"; "ds"; "cds" ]
@@ -51,13 +56,14 @@ let evaluate ?ctx ~fb ~cm ~setup ~scheduler app clustering =
   in
   let mk = point_of_schedule config ~fb ~cm ~setup in
   match scheduler with
-  | "basic" -> mk ~scheduler (Sched.Basic_scheduler.schedule_ctx config ctx)
-  | "ds" -> mk ~scheduler (Sched.Data_scheduler.schedule_ctx config ctx)
+  | "basic" ->
+    mk ~scheduler (Sched.Basic_scheduler.schedule_ctx_diag config ctx)
+  | "ds" -> mk ~scheduler (Sched.Data_scheduler.schedule_ctx_diag config ctx)
   | "cds" ->
     mk ~scheduler
       (Result.map
          (fun r -> r.Cds.Complete_data_scheduler.schedule)
-         (Cds.Complete_data_scheduler.schedule_ctx config ctx))
+         (Cds.Complete_data_scheduler.schedule_ctx_diag config ctx))
   | s -> invalid_arg ("Dse.evaluate: unknown scheduler " ^ s)
 
 let point_key ~app_digest (fb, cm, setup, scheduler) =
@@ -65,8 +71,22 @@ let point_key ~app_digest (fb, cm, setup, scheduler) =
     [ app_digest; string_of_int fb; string_of_int cm; string_of_int setup;
       scheduler ]
 
-let sweep ?(jobs = 1) ?cache ?stats ?(cm_list = [ 2048 ]) ?(setup_list = [ 0 ])
-    ~fb_list app clustering =
+(* An injected cache fault degrades the lookup to a miss: the point is
+   recomputed instead of the sweep dying. *)
+let find_safe cache key =
+  try Engine.Cache.find cache key with Engine.Faults.Injected _ -> None
+
+(* A crashed (or timed-out) design-point task is isolated into an
+   infeasible point carrying its diagnostic; the rest of the sweep is
+   unaffected. *)
+let settle ~combo = function
+  | Ok p -> p
+  | Error d ->
+    let fb, cm, setup, scheduler = combo in
+    infeasible ~fb ~cm ~setup ~scheduler d
+
+let sweep ?(jobs = 1) ?deadline_s ?retries ?cache ?stats
+    ?(cm_list = [ 2048 ]) ?(setup_list = [ 0 ]) ~fb_list app clustering =
   let combos =
     List.concat_map
       (fun fb ->
@@ -91,8 +111,11 @@ let sweep ?(jobs = 1) ?cache ?stats ?(cm_list = [ 2048 ]) ?(setup_list = [ 0 ])
   in
   match cache with
   | None ->
-    Array.to_list
-      (Engine.Pool.run ~jobs (Array.of_list (List.map (fun c () -> eval c) combos)))
+    let slots =
+      Engine.Pool.run_results ~jobs ?deadline_s ?retries
+        (Array.of_list (List.map (fun c () -> eval c) combos))
+    in
+    List.mapi (fun i combo -> settle ~combo slots.(i)) combos
   | Some cache ->
     (* One design point = one key: the digest covers the application, the
        clustering and every machine parameter, so a hit is exact. Misses
@@ -103,7 +126,7 @@ let sweep ?(jobs = 1) ?cache ?stats ?(cm_list = [ 2048 ]) ?(setup_list = [ 0 ])
       List.map
         (fun c ->
           let key = point_key ~app_digest c in
-          (c, key, Engine.Cache.find cache key))
+          (c, key, find_safe cache key))
         combos
     in
     let missing =
@@ -118,14 +141,18 @@ let sweep ?(jobs = 1) ?cache ?stats ?(cm_list = [ 2048 ]) ?(setup_list = [ 0 ])
         lookups
     in
     let computed =
-      Engine.Pool.run ~jobs
+      Engine.Pool.run_results ~jobs ?deadline_s ?retries
         (Array.of_list (List.map (fun (c, _) () -> eval c) missing))
     in
     let fresh = Hashtbl.create 16 in
     List.iteri
-      (fun i (_, key) ->
-        Hashtbl.replace fresh key computed.(i);
-        Engine.Cache.add cache key computed.(i))
+      (fun i (combo, key) ->
+        let p = settle ~combo computed.(i) in
+        Hashtbl.replace fresh key p;
+        (* a crashed task's placeholder point is not cached: the failure
+           may be transient (injected fault, deadline) and must not
+           poison later sweeps *)
+        if Result.is_ok computed.(i) then Engine.Cache.add cache key p)
       missing;
     (match stats with
     | Some st ->

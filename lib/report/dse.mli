@@ -14,10 +14,16 @@ type point = {
   total_cycles : int option;
   data_words : int option;  (** loads + stores *)
   context_words : int option;
+  diag : Diag.t option;
+      (** why the point is infeasible: a scheduler diagnostic, or a
+          [Task_crashed]/[Task_timeout] when the design-point task died
+          and was isolated *)
 }
 
 val sweep :
   ?jobs:int ->
+  ?deadline_s:float ->
+  ?retries:int ->
   ?cache:point Engine.Cache.t ->
   ?stats:Engine.Stats.t ->
   ?cm_list:int list ->
@@ -34,7 +40,14 @@ val sweep :
     whatever the interleaving. [~cache] memoises points by
     (application, clustering, machine config, scheduler) digest, so
     design points repeated across sweeps are scheduled once. [~stats]
-    accumulates per-scheduler timing and cache counters. *)
+    accumulates per-scheduler timing and cache counters.
+
+    The sweep is fault-isolated: a design-point task that crashes (or
+    exceeds [~deadline_s], or exhausts its [~retries] against injected
+    faults) becomes an infeasible point carrying the failure in [diag];
+    every other point is still computed and returned. Crashed points are
+    never written to the cache. An {!Engine.Faults} fault injected into a
+    cache lookup degrades that lookup to a miss. *)
 
 val to_csv : point list -> string
 

@@ -26,10 +26,17 @@ type report = {
   violations : case list;  (** validator violations — scheduler bugs *)
   ordering_failures : case list;
       (** feasible triples where CDS > DS or DS > Basic cycles *)
+  faulted : int;
+      (** pool slots absorbed by injected faults or deadline kills — not
+          failures *)
+  crashes : case list;
+      (** tasks that died on an unexpected exception (isolated by the
+          pool) — real bugs *)
 }
 
 val run :
   ?jobs:int ->
+  ?retries:int ->
   ?fb_set_size:int ->
   ?stats:Engine.Stats.t ->
   seed:int ->
@@ -37,9 +44,52 @@ val run :
   unit ->
   report
 (** [run ~seed ~count ()] fuzzes [count] random applications on an M1
-    configuration with [fb_set_size] (default 4096) words per set. *)
+    configuration with [fb_set_size] (default 4096) words per set.
+    A task that crashes is isolated into [crashes] — the remaining
+    applications are still fuzzed. [~retries] retransmits tasks felled by
+    transient injected faults ({!Engine.Faults}). *)
 
 val ok : report -> bool
-(** No violations and no ordering failures. *)
+(** No violations, no ordering failures and no crashes. *)
 
 val pp : Format.formatter -> report -> unit
+
+(** {1 Hostile mode}
+
+    Mutates valid random applications into (mostly) malformed ones and
+    asserts the stack is exception-free: every mutant is either flagged
+    by the total validator ({!Kernel_ir.Validate}) before construction,
+    or — validating clean — constructs, schedules and simulates without
+    an uncaught exception. A mutant that throws after clean validation
+    is a validator gap and fails the run. *)
+
+type hostile_report = {
+  h_seed : int;
+  h_count : int;
+  h_fb_set_size : int;
+  rejected : int;  (** mutants flagged by the validator *)
+  survived : int;  (** mutants that validated clean and scheduled safely *)
+  h_faulted : int;  (** pool slots absorbed by injected faults/deadlines *)
+  h_crashes : case list;  (** uncaught exceptions — validator gaps *)
+}
+
+val run_hostile :
+  ?jobs:int ->
+  ?retries:int ->
+  ?fb_set_size:int ->
+  seed:int ->
+  count:int ->
+  unit ->
+  hostile_report
+(** [run_hostile ~seed ~count ()] fuzzes [count] mutated applications.
+    Mutant [i] applies the [i mod n]-th of the n mutation strategies
+    (zeroed iterations, duplicate names, shuffled kernel ids, negative
+    sizes, dangling consumer ids, self-consumption, invariant results,
+    broken partitions, …) to random application [i]; generation is keyed
+    by [(seed, index)], so the report is reproducible for any job
+    count. *)
+
+val hostile_ok : hostile_report -> bool
+(** No uncaught exceptions. *)
+
+val pp_hostile : Format.formatter -> hostile_report -> unit

@@ -23,27 +23,45 @@ let schedule_reference config app clustering =
            ~generators:(Xfer_gen.store_everything app clustering)
            ~scheduler:"basic"))
 
-let schedule_ctx config (ctx : Sched_ctx.t) =
-  let app = Sched_ctx.app ctx and clustering = Sched_ctx.clustering ctx in
-  match Context_scheduler.plan_ctx config (Sched_ctx.analysis ctx) with
-  | Error e -> Error ("basic: " ^ e)
-  | Ok ctx_plan -> (
-    let fps = Sched_ctx.basic_footprints_list ctx in
-    match
-      List.find_opt (fun fp -> fp > config.Morphosys.Config.fb_set_size) fps
-    with
-    | Some fp ->
-      Error
-        (Printf.sprintf
-           "basic: cluster footprint %dw exceeds FB set of %dw (no \
-            replacement)"
-           fp config.Morphosys.Config.fb_set_size)
-    | None ->
-      Ok
-        (Step_builder.build config app clustering ~rf:1 ~ctx_plan
-           ~generators:
-             (Xfer_gen.store_everything_ctx (Sched_ctx.analysis ctx))
-           ~scheduler:"basic"))
+(* Index of the first footprint that does not fit the FB set, if any. *)
+let overflow_cluster config fps =
+  let rec go i = function
+    | [] -> None
+    | fp :: rest ->
+      if fp > config.Morphosys.Config.fb_set_size then Some (i, fp)
+      else go (i + 1) rest
+  in
+  go 0 fps
+
+let schedule_ctx_diag config (ctx : Sched_ctx.t) =
+  match Engine.Faults.hit "sched" with
+  | exception Engine.Faults.Injected site ->
+    Error
+      (Diag.v ~scheduler:"basic" Diag.Fault_injected
+         "injected fault at scheduler entry (%s)" site)
+  | () -> (
+    let app = Sched_ctx.app ctx and clustering = Sched_ctx.clustering ctx in
+    match Context_scheduler.plan_ctx_diag config (Sched_ctx.analysis ctx) with
+    | Error d -> Error (Diag.with_scheduler "basic" d)
+    | Ok ctx_plan -> (
+      match overflow_cluster config (Sched_ctx.basic_footprints_list ctx) with
+      | Some (cid, fp) ->
+        Error
+          (Diag.v ~scheduler:"basic" ~cluster:cid Diag.Fb_overflow
+             "cluster footprint %dw exceeds FB set of %dw (no replacement)"
+             fp config.Morphosys.Config.fb_set_size)
+      | None ->
+        Ok
+          (Step_builder.build config app clustering ~rf:1 ~ctx_plan
+             ~generators:
+               (Xfer_gen.store_everything_ctx (Sched_ctx.analysis ctx))
+             ~scheduler:"basic")))
+
+let schedule_ctx config ctx =
+  Result.map_error Diag.to_string (schedule_ctx_diag config ctx)
+
+let schedule_diag config app clustering =
+  schedule_ctx_diag config (Sched_ctx.make app clustering)
 
 let schedule config app clustering =
   schedule_ctx config (Sched_ctx.make app clustering)

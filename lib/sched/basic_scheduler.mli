@@ -20,6 +20,19 @@ val schedule_ctx :
   Morphosys.Config.t -> Sched_ctx.t -> (Schedule.t, string) result
 (** {!schedule} over a precomputed scheduling context. *)
 
+val schedule_diag :
+  Morphosys.Config.t ->
+  Kernel_ir.Application.t ->
+  Kernel_ir.Cluster.clustering ->
+  (Schedule.t, Diag.t) result
+(** Structured variant of {!schedule}: failures are [Fb_overflow] or
+    [Cm_overflow] diagnostics naming the offending cluster.  The string
+    APIs are shims over this via {!Diag.to_string}. *)
+
+val schedule_ctx_diag :
+  Morphosys.Config.t -> Sched_ctx.t -> (Schedule.t, Diag.t) result
+(** {!schedule_diag} over a precomputed scheduling context. *)
+
 val schedule_reference :
   Morphosys.Config.t ->
   Kernel_ir.Application.t ->

@@ -33,7 +33,7 @@ let plan_sizes (config : Morphosys.Config.t) sizes =
   with
   | Some (id, w) ->
     Error
-      (Printf.sprintf
+      (Diag.v ~cluster:id Diag.Cm_overflow
          "cluster %d needs %d context words but the CM holds only %d" id w
          config.cm_capacity)
   | None ->
@@ -64,13 +64,17 @@ let plan_sizes (config : Morphosys.Config.t) sizes =
         reserve = rotation_reserve sizes unpinned;
       }
 
-let plan (config : Morphosys.Config.t) app clustering =
+let plan_diag (config : Morphosys.Config.t) app clustering =
   plan_sizes config
     (List.map (fun c -> (c.Cluster.id, context_words app c)) clustering)
 
+let plan config app clustering =
+  Result.map_error Diag.to_string (plan_diag config app clustering)
+
 (* The profile already carries each cluster's context-word sum, so the
    indexed path plans without touching the application again. *)
-let plan_ctx (config : Morphosys.Config.t) (analysis : Kernel_ir.Analysis.t) =
+let plan_ctx_diag (config : Morphosys.Config.t)
+    (analysis : Kernel_ir.Analysis.t) =
   plan_sizes config
     (Array.to_list
        (Array.map
@@ -78,6 +82,9 @@ let plan_ctx (config : Morphosys.Config.t) (analysis : Kernel_ir.Analysis.t) =
             (p.Kernel_ir.Info_extractor.cluster.Cluster.id,
              p.Kernel_ir.Info_extractor.contexts))
           analysis.Kernel_ir.Analysis.profiles))
+
+let plan_ctx config analysis =
+  Result.map_error Diag.to_string (plan_ctx_diag config analysis)
 
 let load_words_for_round plan ~app ~clustering ~cluster ~round =
   ignore clustering;

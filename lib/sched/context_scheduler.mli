@@ -20,12 +20,23 @@ val plan :
   Kernel_ir.Cluster.clustering ->
   (plan, string) result
 (** [Error] when some single cluster's contexts exceed the CM capacity —
-    no schedule can run that clustering. *)
+    no schedule can run that clustering. String shim over {!plan_diag}. *)
+
+val plan_diag :
+  Morphosys.Config.t ->
+  Kernel_ir.Application.t ->
+  Kernel_ir.Cluster.clustering ->
+  (plan, Diag.t) result
+(** Structured variant: the failure is a [Cm_overflow] diagnostic naming
+    the offending cluster. *)
 
 val plan_ctx :
   Morphosys.Config.t -> Kernel_ir.Analysis.t -> (plan, string) result
 (** Same plan, but the per-cluster context words come from the analysis
     context's profiles instead of being re-summed from the application. *)
+
+val plan_ctx_diag :
+  Morphosys.Config.t -> Kernel_ir.Analysis.t -> (plan, Diag.t) result
 
 val context_words :
   Kernel_ir.Application.t -> Kernel_ir.Cluster.t -> int

@@ -73,11 +73,17 @@ let schedule_reference ?(alloc_efficiency = default_efficiency) config app
                ~generators:(Xfer_gen.plain app clustering)
                ~scheduler:"ds")))
 
-let schedule_ctx ?(alloc_efficiency = default_efficiency) config
+let schedule_ctx_diag ?(alloc_efficiency = default_efficiency) config
     (ctx : Sched_ctx.t) =
+  match Engine.Faults.hit "sched" with
+  | exception Engine.Faults.Injected site ->
+    Error
+      (Diag.v ~scheduler:"ds" Diag.Fault_injected
+         "injected fault at scheduler entry (%s)" site)
+  | () -> (
   let app = Sched_ctx.app ctx and clustering = Sched_ctx.clustering ctx in
-  match Context_scheduler.plan_ctx config (Sched_ctx.analysis ctx) with
-  | Error e -> Error ("ds: " ^ e)
+  match Context_scheduler.plan_ctx_diag config (Sched_ctx.analysis ctx) with
+  | Error d -> Error (Diag.with_scheduler "ds" d)
   | Ok ctx_plan -> (
     match
       reuse_factor_of_splits ~alloc_efficiency config
@@ -86,9 +92,8 @@ let schedule_ctx ?(alloc_efficiency = default_efficiency) config
     with
     | 0 ->
       Error
-        (Printf.sprintf
-           "ds: some cluster's DS(C)=%dw exceeds the packable %dw of the FB \
-            set"
+        (Diag.v ~scheduler:"ds" Diag.No_feasible_rf
+           "some cluster's DS(C)=%dw exceeds the packable %dw of the FB set"
            (Msutil.Listx.max_by (fun x -> x) (Sched_ctx.footprints_list ctx))
            (packable_words alloc_efficiency config))
     | rf_max ->
@@ -117,7 +122,14 @@ let schedule_ctx ?(alloc_efficiency = default_efficiency) config
       Ok
         (Step_builder.build config app clustering ~rf:best_rf ~ctx_plan
            ~generators:(Xfer_gen.plain_ctx analysis)
-           ~scheduler:"ds"))
+           ~scheduler:"ds")))
+
+let schedule_ctx ?alloc_efficiency config ctx =
+  Result.map_error Diag.to_string
+    (schedule_ctx_diag ?alloc_efficiency config ctx)
+
+let schedule_diag ?alloc_efficiency config app clustering =
+  schedule_ctx_diag ?alloc_efficiency config (Sched_ctx.make app clustering)
 
 let schedule ?alloc_efficiency config app clustering =
   schedule_ctx ?alloc_efficiency config (Sched_ctx.make app clustering)

@@ -40,6 +40,23 @@ val schedule_ctx :
 (** {!schedule} over a precomputed scheduling context — O(1) profile and
     DS-formula lookups instead of recomputing them from the application. *)
 
+val schedule_diag :
+  ?alloc_efficiency:float ->
+  Morphosys.Config.t ->
+  Kernel_ir.Application.t ->
+  Kernel_ir.Cluster.clustering ->
+  (Schedule.t, Diag.t) result
+(** Structured variant of {!schedule}: failures are [No_feasible_rf] or
+    [Cm_overflow] diagnostics.  The string APIs are shims over this via
+    {!Diag.to_string}. *)
+
+val schedule_ctx_diag :
+  ?alloc_efficiency:float ->
+  Morphosys.Config.t ->
+  Sched_ctx.t ->
+  (Schedule.t, Diag.t) result
+(** {!schedule_diag} over a precomputed scheduling context. *)
+
 val schedule_reference :
   ?alloc_efficiency:float ->
   Morphosys.Config.t ->

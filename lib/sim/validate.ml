@@ -74,10 +74,9 @@ let check_dma state app i ~computing_set (tr : Dma.t) =
     (match Schedule.parse_label tr.Dma.label with
     | None -> report state i "unparsable data label %S" tr.Dma.label
     | Some (name, _) -> (
-      match Application.data_by_name app name with
-      | (_ : Data.t) -> ()
-      | exception Not_found ->
-        report state i "transfer references unknown data %S" name));
+      match Application.data_by_name_opt app name with
+      | Some (_ : Data.t) -> ()
+      | None -> report state i "transfer references unknown data %S" name));
     match direction with
     | Dma.Load -> mark_resident state set tr.Dma.label
     | Dma.Store ->

@@ -1,0 +1,216 @@
+(* Structured diagnostics and the total pre-flight validator. *)
+
+module Kernel = Kernel_ir.Kernel
+module Data = Kernel_ir.Data
+module Application = Kernel_ir.Application
+module Cluster = Kernel_ir.Cluster
+module Validate = Kernel_ir.Validate
+
+let contains = Astring_contains.contains
+
+let test_diag_basics () =
+  let d =
+    Diag.v ~scheduler:"basic" ~cluster:2 Diag.Fb_overflow
+      "cluster footprint %dw exceeds FB set of %dw (no replacement)" 1048 64
+  in
+  Alcotest.(check string) "to_string keeps the legacy text"
+    "basic: cluster footprint 1048w exceeds FB set of 64w (no replacement)"
+    (Diag.to_string d);
+  let r = Diag.render d in
+  Alcotest.(check bool) "render carries the code" true
+    (contains r "[E:FB_OVERFLOW basic]");
+  Alcotest.(check bool) "render carries the cluster" true
+    (contains r "cluster 2");
+  Alcotest.(check bool) "error severity" true (Diag.is_error d);
+  let w =
+    Diag.v ~severity:Diag.Warning ~data:"qm" Diag.Retention_rejected
+      "candidate declined"
+  in
+  Alcotest.(check bool) "warning is not an error" false (Diag.is_error w);
+  Alcotest.(check bool) "warning renders as W" true
+    (contains (Diag.render w) "[W:RETENTION_REJECTED]");
+  let retagged = Diag.with_scheduler "cds" d in
+  Alcotest.(check string) "with_scheduler retags the prefix"
+    "cds: cluster footprint 1048w exceeds FB set of 64w (no replacement)"
+    (Diag.to_string retagged);
+  (* a diagnostic with no scheduler has no prefix *)
+  let bare = Diag.v Diag.Invalid_app "no kernels" in
+  Alcotest.(check string) "bare message" "no kernels" (Diag.to_string bare);
+  List.iter
+    (fun (code, name) ->
+      Alcotest.(check string) "code_name" name (Diag.code_name code))
+    [
+      (Diag.Fb_overflow, "FB_OVERFLOW");
+      (Diag.Cm_overflow, "CM_OVERFLOW");
+      (Diag.No_feasible_rf, "NO_FEASIBLE_RF");
+      (Diag.Retention_rejected, "RETENTION_REJECTED");
+      (Diag.Invalid_app, "INVALID_APP");
+      (Diag.Invalid_clustering, "INVALID_CLUSTERING");
+      (Diag.Invalid_config, "INVALID_CONFIG");
+      (Diag.Sim_divergence, "SIM_DIVERGENCE");
+      (Diag.Task_crashed, "TASK_CRASHED");
+      (Diag.Task_timeout, "TASK_TIMEOUT");
+      (Diag.Fault_injected, "FAULT_INJECTED");
+    ]
+
+let test_of_exn () =
+  let code e = (Diag.of_exn e).Diag.code in
+  Alcotest.(check bool) "Invalid_argument -> Invalid_app" true
+    (code (Invalid_argument "x") = Diag.Invalid_app);
+  Alcotest.(check bool) "Not_found -> Invalid_app" true
+    (code Not_found = Diag.Invalid_app);
+  Alcotest.(check bool) "anything else -> Task_crashed" true
+    (code (Failure "y") = Diag.Task_crashed);
+  (match Diag.guard (fun () -> 41 + 1) with
+  | Ok v -> Alcotest.(check int) "guard passes the value" 42 v
+  | Error d -> Alcotest.failf "guard failed: %s" (Diag.render d));
+  (match Diag.guard ~scheduler:"ds" (fun () -> failwith "boom") with
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error d ->
+    Alcotest.(check bool) "guard tags the scheduler" true
+      (d.Diag.scheduler = Some "ds");
+    Alcotest.(check bool) "guard keeps the message" true
+      (contains (Diag.to_string d) "boom"));
+  match Diag.protect ~code:Diag.Sim_divergence (fun () -> failwith "bad") with
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error d ->
+    Alcotest.(check bool) "protect forces the code" true
+      (d.Diag.code = Diag.Sim_divergence)
+
+(* A hand-broken application: every field violates something. The total
+   checker must report all of them in one pass. *)
+let test_validate_collects_all () =
+  let kernels =
+    [
+      { Kernel.id = 0; name = ""; contexts = 0; exec_cycles = 5 };
+      { Kernel.id = 7; name = "k"; contexts = 10; exec_cycles = 0 };
+    ]
+  in
+  let data =
+    [
+      {
+        Data.id = 0;
+        name = "d";
+        size = -4;
+        producer = Data.External;
+        consumers = [];
+        final = false;
+        invariant = false;
+      };
+      {
+        Data.id = 0;
+        name = "d";
+        size = 8;
+        producer = Data.Produced_by 1;
+        consumers = [ 1 ];
+        final = false;
+        invariant = true;
+      };
+    ]
+  in
+  let diags =
+    Validate.application ~name:"broken" ~kernels ~data ~iterations:0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "many violations collected (got %d)" (List.length diags))
+    true
+    (List.length diags >= 8);
+  let messages = String.concat "\n" (List.map Diag.to_string diags) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "reports %S" needle)
+        true (contains messages needle))
+    [
+      "iterations must be positive";
+      "empty name";
+      "has id 7 at position 1";
+      "non-positive context words";
+      "non-positive exec cycles";
+      "non-positive size";
+      "no consumers";
+      "consumes its own result";
+      "cannot be iteration-invariant";
+      "duplicate data name";
+      "duplicate data id";
+    ];
+  Alcotest.(check bool) "all are errors" true (List.for_all Diag.is_error diags)
+
+let valid_ingredients () =
+  let kernels =
+    [
+      Kernel.make ~id:0 ~name:"k0" ~contexts:10 ~exec_cycles:5;
+      Kernel.make ~id:1 ~name:"k1" ~contexts:10 ~exec_cycles:5;
+    ]
+  in
+  let data =
+    [
+      Data.make ~id:0 ~name:"in" ~size:16 ~producer:Data.External
+        ~consumers:[ 0 ] ~final:false ();
+      Data.make ~id:1 ~name:"mid" ~size:8 ~producer:(Data.Produced_by 0)
+        ~consumers:[ 1 ] ~final:false ();
+      Data.make ~id:2 ~name:"out" ~size:8 ~producer:(Data.Produced_by 1)
+        ~consumers:[] ~final:true ();
+    ]
+  in
+  (kernels, data)
+
+let test_validate_clean () =
+  let kernels, data = valid_ingredients () in
+  Alcotest.(check int) "clean ingredients produce no diagnostics" 0
+    (List.length
+       (Validate.application ~name:"ok" ~kernels ~data ~iterations:4));
+  match Validate.application_checked ~name:"ok" ~kernels ~data ~iterations:4 with
+  | Ok app ->
+    Alcotest.(check int) "constructed" 2 (Application.n_kernels app);
+    Alcotest.(check int) "audit of a built app is clean" 0
+      (List.length (Validate.app app));
+    let cl = Cluster.of_partition app [ 1; 1 ] in
+    Alcotest.(check int) "well-built clustering is clean" 0
+      (List.length (Validate.clustering app cl));
+    Alcotest.(check int) "whole problem is clean" 0
+      (List.length
+         (Validate.all ~config:(Morphosys.Config.m1 ~fb_set_size:1024) app cl))
+  | Error diags ->
+    Alcotest.failf "expected Ok, got %d diagnostics" (List.length diags)
+
+let test_validate_checked_rejects () =
+  let kernels, data = valid_ingredients () in
+  match
+    Validate.application_checked ~name:"bad" ~kernels ~data ~iterations:0
+  with
+  | Ok _ -> Alcotest.fail "expected Error"
+  | Error diags ->
+    Alcotest.(check bool) "at least the iterations diagnostic" true
+      (List.exists
+         (fun d -> contains (Diag.to_string d) "iterations")
+         diags)
+
+let test_validate_partition () =
+  Alcotest.(check int) "good partition" 0
+    (List.length (Validate.partition ~n_kernels:4 [ 2; 2 ]));
+  let diags = Validate.partition ~n_kernels:4 [ 0; 3 ] in
+  let messages = String.concat "\n" (List.map Diag.to_string diags) in
+  Alcotest.(check bool) "zero size flagged" true
+    (contains messages "non-positive cluster size");
+  Alcotest.(check bool) "bad sum flagged" true (contains messages "sum to 3");
+  Alcotest.(check bool) "clustering code" true
+    (List.for_all (fun d -> d.Diag.code = Diag.Invalid_clustering) diags)
+
+let test_validate_config () =
+  Alcotest.(check int) "m1 is clean" 0
+    (List.length (Validate.config (Morphosys.Config.m1 ~fb_set_size:1024)))
+
+let tests =
+  ( "diagnostics",
+    [
+      Alcotest.test_case "diag basics" `Quick test_diag_basics;
+      Alcotest.test_case "of_exn / guard / protect" `Quick test_of_exn;
+      Alcotest.test_case "validate collects all" `Quick
+        test_validate_collects_all;
+      Alcotest.test_case "validate clean" `Quick test_validate_clean;
+      Alcotest.test_case "application_checked rejects" `Quick
+        test_validate_checked_rejects;
+      Alcotest.test_case "validate partition" `Quick test_validate_partition;
+      Alcotest.test_case "validate config" `Quick test_validate_config;
+    ] )

@@ -131,14 +131,181 @@ let test_stats () =
   Alcotest.(check bool) "pp mentions cache" true
     (Astring_contains.contains rendered "cache")
 
+let test_pool_bad_jobs () =
+  List.iter
+    (fun jobs ->
+      match Engine.Pool.run ~jobs [| (fun () -> 1) |] with
+      | (_ : int array) -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument msg ->
+        Alcotest.(check bool) "message names jobs" true
+          (Astring_contains.contains msg "jobs"))
+    [ 0; -1 ];
+  (match Engine.Pool.run_results ~jobs:0 [| (fun () -> 1) |] with
+  | (_ : (int, Diag.t) result array) ->
+    Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ())
+
+let test_run_results_isolation () =
+  List.iter
+    (fun jobs ->
+      let tasks =
+        Array.init 9 (fun i () ->
+            if i = 4 then failwith "crash4";
+            i * 10)
+      in
+      let slots = Engine.Pool.run_results ~jobs tasks in
+      Array.iteri
+        (fun i slot ->
+          match slot with
+          | Ok v when i <> 4 ->
+            Alcotest.(check int)
+              (Printf.sprintf "jobs=%d slot %d survives" jobs i)
+              (i * 10) v
+          | Error d when i = 4 ->
+            Alcotest.(check string) "crash code" "TASK_CRASHED"
+              (Diag.code_name d.Diag.code);
+            Alcotest.(check bool) "message carries the exception" true
+              (Astring_contains.contains (Diag.render d) "crash4")
+          | Ok _ -> Alcotest.failf "slot 4 should have crashed (jobs=%d)" jobs
+          | Error d ->
+            Alcotest.failf "slot %d unexpectedly failed: %s" i
+              (Diag.render d))
+        slots)
+    [ 1; 4 ]
+
+let test_run_results_deadline () =
+  let slots =
+    Engine.Pool.run_results ~jobs:2 ~deadline_s:0.02
+      (Array.init 2 (fun i () ->
+           if i = 0 then
+             (* cooperative long-runner: checkpoints until cancelled *)
+             let rec spin () =
+               Engine.Pool.checkpoint ();
+               Unix.sleepf 0.005;
+               spin ()
+             in
+             spin ()
+           else 7))
+  in
+  (match slots.(0) with
+  | Error d ->
+    Alcotest.(check string) "timeout code" "TASK_TIMEOUT"
+      (Diag.code_name d.Diag.code)
+  | Ok _ -> Alcotest.fail "expected a deadline kill");
+  (match slots.(1) with
+  | Ok v -> Alcotest.(check int) "fast task unaffected" 7 v
+  | Error d -> Alcotest.failf "fast task failed: %s" (Diag.render d));
+  (* outside a pool task, checkpoint is a no-op *)
+  Engine.Pool.checkpoint ()
+
+let test_fault_injection () =
+  (* rate 1.0: every pool visit fires; without retries every slot is an
+     absorbed Fault_injected diagnostic, never an uncaught exception *)
+  Engine.Faults.with_plan
+    (Engine.Faults.plan ~sites:[ "pool" ] ~rate:1.0 ~seed:11 ())
+    (fun () ->
+      let slots =
+        Engine.Pool.run_results ~jobs:4 (Array.init 12 (fun i () -> i))
+      in
+      Array.iter
+        (function
+          | Error d ->
+            Alcotest.(check string) "injected code" "FAULT_INJECTED"
+              (Diag.code_name d.Diag.code)
+          | Ok _ -> Alcotest.fail "rate-1.0 plan must fire on every task")
+        slots;
+      Alcotest.(check bool) "faults counted" true
+        (Engine.Faults.injected_count () >= 12));
+  Alcotest.(check bool) "disarmed after with_plan" true
+    (Engine.Faults.armed () = None);
+  (* a site filter keeps other sites quiet *)
+  Engine.Faults.with_plan
+    (Engine.Faults.plan ~sites:[ "cache" ] ~rate:1.0 ~seed:11 ())
+    (fun () ->
+      let slots =
+        Engine.Pool.run_results ~jobs:2 (Array.init 4 (fun i () -> i))
+      in
+      Array.iter
+        (function
+          | Ok _ -> ()
+          | Error d -> Alcotest.failf "pool fired: %s" (Diag.render d))
+        slots);
+  (* determinism: the same plan fires the same visits *)
+  let fired_of () =
+    Engine.Faults.with_plan
+      (Engine.Faults.plan ~sites:[ "pool" ] ~rate:0.4 ~seed:5 ())
+      (fun () ->
+        Engine.Pool.run_results ~jobs:1 (Array.init 20 (fun i () -> i))
+        |> Array.map Result.is_error)
+  in
+  Alcotest.(check (array bool)) "seeded firings reproducible" (fired_of ())
+    (fired_of ())
+
+let test_fault_retries () =
+  (* injected faults are transient (the visit counter advances), so enough
+     retries always push a 0.5-rate task through eventually *)
+  Engine.Faults.with_plan
+    (Engine.Faults.plan ~sites:[ "pool" ] ~rate:0.5 ~seed:3 ())
+    (fun () ->
+      let slots =
+        Engine.Pool.run_results ~jobs:2 ~retries:30
+          (Array.init 16 (fun i () -> i))
+      in
+      Array.iteri
+        (fun i slot ->
+          match slot with
+          | Ok v -> Alcotest.(check int) "retried through" i v
+          | Error d ->
+            Alcotest.failf "slot %d not absorbed by retries: %s" i
+              (Diag.render d))
+        slots;
+      Alcotest.(check bool) "some faults did fire" true
+        (Engine.Faults.injected_count () > 0));
+  (* crashes are never retried *)
+  let attempts = Atomic.make 0 in
+  let slots =
+    Engine.Pool.run_results ~retries:5
+      [| (fun () ->
+           Atomic.incr attempts;
+           failwith "hard") |]
+  in
+  Alcotest.(check bool) "crash reported" true (Result.is_error slots.(0));
+  Alcotest.(check int) "no retry for a crash" 1 (Atomic.get attempts)
+
+let test_cache_miss_rollback () =
+  let c = Engine.Cache.create () in
+  (match Engine.Cache.find_or_add c "k" (fun () -> failwith "compute died") with
+  | (_ : int) -> Alcotest.fail "expected the compute exception"
+  | exception Failure _ -> ());
+  Alcotest.(check int) "failed compute is not a miss" 0
+    (Engine.Cache.misses c);
+  Alcotest.(check int) "nothing cached" 0 (Engine.Cache.length c);
+  Alcotest.(check int) "retry computes" 42
+    (Engine.Cache.find_or_add c "k" (fun () -> 42));
+  Alcotest.(check int) "exactly one miss counted" 1 (Engine.Cache.misses c);
+  (* an injected cache fault degrades the lookup to a miss *)
+  Engine.Faults.with_plan
+    (Engine.Faults.plan ~sites:[ "cache" ] ~rate:1.0 ~seed:2 ())
+    (fun () ->
+      Alcotest.(check int) "find_or_add survives injected lookup fault" 42
+        (Engine.Cache.find_or_add c "k" (fun () -> 42)))
+
 let tests =
   ( "engine",
     [
       Alcotest.test_case "pool ordering" `Quick test_pool_ordering;
       Alcotest.test_case "pool exceptions" `Quick test_pool_exception;
       Alcotest.test_case "pool recommended jobs" `Quick test_pool_recommended;
+      Alcotest.test_case "pool bad jobs" `Quick test_pool_bad_jobs;
+      Alcotest.test_case "run_results isolation" `Quick
+        test_run_results_isolation;
+      Alcotest.test_case "run_results deadline" `Quick
+        test_run_results_deadline;
+      Alcotest.test_case "fault injection" `Quick test_fault_injection;
+      Alcotest.test_case "fault retries" `Quick test_fault_retries;
       Alcotest.test_case "cache basics" `Quick test_cache_basics;
       Alcotest.test_case "cache find_or_add" `Quick test_cache_find_or_add;
+      Alcotest.test_case "cache miss rollback" `Quick test_cache_miss_rollback;
       Alcotest.test_case "key digests" `Quick test_key_digests;
       Alcotest.test_case "stats" `Quick test_stats;
     ] )

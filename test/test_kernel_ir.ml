@@ -69,9 +69,16 @@ let test_application_queries () =
   Alcotest.(check int) "total contexts" 400 (Application.total_context_words app);
   Alcotest.(check string) "by name" "k2" (Application.kernel_by_name app "k2").Kernel.name;
   Alcotest.(check int) "data by name size" 30 (Application.data_by_name app "r03").Data.size;
+  Alcotest.(check (option string))
+    "by name opt" None
+    (Option.map
+       (fun (k : Kernel.t) -> k.Kernel.name)
+       (Application.kernel_by_name_opt app "zz"));
   (match Application.kernel_by_name app "zz" with
-  | exception Not_found -> ()
-  | _ -> Alcotest.fail "expected Not_found")
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool) "error names the kernel" true
+      (Astring_contains.contains msg "zz")
+  | _ -> Alcotest.fail "expected Invalid_argument")
 
 let test_builder_errors () =
   expect_invalid "unknown kernel in consumers" (fun () ->

@@ -32,4 +32,6 @@ let () =
       Test_fuzz_oracle.tests;
       Test_analysis.tests;
       Test_misc_coverage.tests;
+      Test_diagnostics.tests;
+      Test_degrade.tests;
     ]
