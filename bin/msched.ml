@@ -103,11 +103,20 @@ let auto_arg =
   Arg.(value & flag & info [ "auto" ] ~doc)
 
 let scheduler_arg =
-  let doc = "Scheduler: $(b,basic), $(b,ds) or $(b,cds)." in
-  Arg.(
-    value
-    & opt (enum [ ("basic", `Basic); ("ds", `Ds); ("cds", `Cds) ]) `Cds
-    & info [ "scheduler"; "s" ] ~docv:"NAME" ~doc)
+  let doc =
+    "Scheduler to use, by registry name (see $(b,msched schedulers); \
+     e.g. $(b,basic), $(b,ds), $(b,cds), $(b,cds-xset))."
+  in
+  Arg.(value & opt string "cds" & info [ "scheduler"; "s" ] ~docv:"NAME" ~doc)
+
+(* Dispatch a scheduler by registry name on a fresh context; errors are the
+   schedulers' own diagnostic strings, plus the registry's "unknown
+   scheduler" one for a name nothing registered. *)
+let schedule_via_registry ~scheduler config app clustering =
+  Result.map_error Diag.to_string
+    (Sched.Scheduler_registry.run scheduler
+       (Sched.Sched_ctx.make app clustering)
+       config)
 
 let trace_arg =
   let doc = "Print the step-by-step timeline." in
@@ -152,16 +161,20 @@ let run_cmd =
       | Ok clustering -> (
         let schedule =
           match scheduler with
-          | `Basic -> Sched.Basic_scheduler.schedule config app clustering
-          | `Ds -> Sched.Data_scheduler.schedule config app clustering
-          | `Cds ->
+          | "cds" ->
+            (* the rich CDS path: honours --cross-set/--no-retention and
+               prints the retention decision before the metrics *)
             Result.map
               (fun (r : Cds.Complete_data_scheduler.result) ->
                 Format.printf "%a@." Cds.Retention.pp_decision
                   r.Cds.Complete_data_scheduler.retention;
                 r.Cds.Complete_data_scheduler.schedule)
-              (Cds.Complete_data_scheduler.schedule ~cross_set
-                 ~retention:(not no_retention) config app clustering)
+              (Result.map_error Diag.to_string
+                 (Cds.Complete_data_scheduler.run_full ~cross_set
+                    ~retention:(not no_retention)
+                    (Sched.Sched_ctx.make app clustering)
+                    config))
+          | name -> schedule_via_registry ~scheduler:name config app clustering
         in
         match schedule with
         | Error e -> `Error (false, e)
@@ -187,11 +200,21 @@ let compare_cmd =
       value & flag
       & info [ "degrade" ]
           ~doc:
-            "Graceful degradation: never abort — fall back CDS, DS, Basic \
-             and print the degradation chain with each tier's structured \
-             diagnostic.")
+            "Graceful degradation: never abort — fall back down the \
+             scheduler ladder (default cds, ds, basic) and print the \
+             degradation chain with each tier's structured diagnostic.")
   in
-  let run name file fb cm partition auto degrade =
+  let ladder_arg =
+    Arg.(
+      value
+      & opt (some (list ~sep:',' string)) None
+      & info [ "ladder" ] ~docv:"NAMES"
+          ~doc:
+            "With $(b,--degrade): the ordered list of registry scheduler \
+             names to fall back through, best first (see \
+             $(b,msched schedulers)).")
+  in
+  let run name file fb cm partition auto degrade ladder =
     match resolve_source ~name ~file with
     | Error e -> `Error (false, e)
     | Ok source -> (
@@ -200,7 +223,7 @@ let compare_cmd =
       match clustering_of source ~partition ~auto ~config with
       | Error e -> `Error (false, e)
       | Ok clustering ->
-        let c = Cds.Pipeline.run ~degrade config app clustering in
+        let c = Cds.Pipeline.run ~degrade ?ladder config app clustering in
         let report label = function
           | Ok (s : Cds.Pipeline.scheduled) ->
             Format.printf "%-6s %a@." label Msim.Metrics.pp
@@ -226,7 +249,7 @@ let compare_cmd =
     Term.(
       ret
         (const run $ workload_arg $ file_arg $ fb_arg $ cm_arg $ partition_arg
-       $ auto_arg $ degrade_arg))
+       $ auto_arg $ degrade_arg $ ladder_arg))
 
 let alloc_cmd =
   let run name file fb cm partition =
@@ -603,27 +626,22 @@ let asm_cmd =
       match clustering_of source ~partition ~auto:false ~config with
       | Error e -> `Error (false, e)
       | Ok clustering -> (
-        let schedule =
-          match scheduler with
-          | `Basic -> Sched.Basic_scheduler.schedule config app clustering
-          | `Ds -> Sched.Data_scheduler.schedule config app clustering
-          | `Cds ->
-            Result.map
-              (fun (r : Cds.Complete_data_scheduler.result) ->
-                r.Cds.Complete_data_scheduler.schedule)
-              (Cds.Complete_data_scheduler.schedule config app clustering)
-        in
-        match schedule with
+        match schedule_via_registry ~scheduler config app clustering with
         | Error e -> `Error (false, e)
-        | Ok s ->
+        | Ok s -> (
           let program =
-            if looped then Codegen.Emit.program_looped s
-            else Codegen.Emit.program s
+            if looped then Diag.guard (fun () -> Codegen.Emit.program_looped s)
+            else Codegen.Emit.program_result s
           in
-          print_string (Codegen.Asm.to_string program);
-          let r = Codegen.Interp.run config program in
-          Format.eprintf "; interpreted: %a@." Codegen.Interp.pp_result r;
-          `Ok ()))
+          match program with
+          | Error d -> `Error (false, Diag.render d)
+          | Ok program -> (
+            print_string (Codegen.Asm.to_string program);
+            match Codegen.Interp.run_result config program with
+            | Ok r ->
+              Format.eprintf "; interpreted: %a@." Codegen.Interp.pp_result r;
+              `Ok ()
+            | Error d -> `Error (false, Diag.render d)))))
   in
   Cmd.v
     (Cmd.info "asm"
@@ -643,17 +661,7 @@ let vcd_cmd =
       match clustering_of source ~partition ~auto:false ~config with
       | Error e -> `Error (false, e)
       | Ok clustering -> (
-        let schedule =
-          match scheduler with
-          | `Basic -> Sched.Basic_scheduler.schedule config app clustering
-          | `Ds -> Sched.Data_scheduler.schedule config app clustering
-          | `Cds ->
-            Result.map
-              (fun (r : Cds.Complete_data_scheduler.result) ->
-                r.Cds.Complete_data_scheduler.schedule)
-              (Cds.Complete_data_scheduler.schedule config app clustering)
-        in
-        match schedule with
+        match schedule_via_registry ~scheduler config app clustering with
         | Error e -> `Error (false, e)
         | Ok s ->
           print_string (Msim.Vcd.of_schedule config s);
@@ -666,6 +674,20 @@ let vcd_cmd =
       ret
         (const run $ workload_arg $ file_arg $ fb_arg $ cm_arg $ partition_arg
        $ scheduler_arg))
+
+let schedulers_cmd =
+  let run () =
+    List.iter
+      (fun s ->
+        Printf.printf "%-10s %s\n"
+          (Sched.Scheduler_intf.name s)
+          (Sched.Scheduler_intf.describe s))
+      (Sched.Scheduler_registry.all ())
+  in
+  Cmd.v
+    (Cmd.info "schedulers"
+       ~doc:"List the registered schedulers (usable with --scheduler)")
+    Term.(const run $ const ())
 
 let kernels_cmd =
   let run () =
@@ -709,7 +731,8 @@ let main =
     (Cmd.info "msched" ~version:"1.0.0" ~doc)
     [
       list_cmd; run_cmd; compare_cmd; alloc_cmd; dot_cmd; asm_cmd; vcd_cmd;
-      kernels_cmd; sweep_cmd; dse_cmd; fuzz_cmd; table1_cmd; figures_cmd;
+      kernels_cmd; schedulers_cmd; sweep_cmd; dse_cmd; fuzz_cmd; table1_cmd;
+      figures_cmd;
     ]
 
 let () = exit (Cmd.eval ~argv main)

@@ -155,8 +155,10 @@ let schedule_reference ?(retention = true) ?(cross_set = false)
             decision.Retention.avoided_words_per_iteration;
         })
 
-let schedule_ctx_diag ?(retention = true) ?(cross_set = false)
-    (config : Morphosys.Config.t) (ctx : Sched.Sched_ctx.t) =
+(* The single implementation: every other entry point — including the
+   registry-facing [run] — is a thin shim over [run_full]. *)
+let run_full ?(retention = true) ?(cross_set = false)
+    (ctx : Sched.Sched_ctx.t) (config : Morphosys.Config.t) =
   match Engine.Faults.hit "sched" with
   | exception Engine.Faults.Injected site ->
     Error
@@ -166,7 +168,7 @@ let schedule_ctx_diag ?(retention = true) ?(cross_set = false)
   let app = Sched.Sched_ctx.app ctx in
   let clustering = Sched.Sched_ctx.clustering ctx in
   let analysis = Sched.Sched_ctx.analysis ctx in
-  match Sched.Context_scheduler.plan_ctx_diag config analysis with
+  match Sched.Context_scheduler.plan_of_analysis config analysis with
   | Error d -> Error (Diag.with_scheduler "cds" d)
   | Ok ctx_plan -> (
     match
@@ -224,20 +226,26 @@ let schedule_ctx_diag ?(retention = true) ?(cross_set = false)
             decision.Retention.avoided_words_per_iteration;
         }))
 
+let run ctx config = Result.map (fun r -> r.schedule) (run_full ctx config)
+
+(* compat shims *)
+let schedule_ctx_diag ?retention ?cross_set config ctx =
+  run_full ?retention ?cross_set ctx config
+
 let schedule_ctx ?retention ?cross_set config ctx =
-  Result.map_error Diag.to_string
-    (schedule_ctx_diag ?retention ?cross_set config ctx)
+  Result.map_error Diag.to_string (run_full ?retention ?cross_set ctx config)
 
 let schedule_diag ?retention ?cross_set config app clustering =
-  schedule_ctx_diag ?retention ?cross_set config
-    (Sched.Sched_ctx.make app clustering)
+  run_full ?retention ?cross_set (Sched.Sched_ctx.make app clustering) config
 
 let schedule ?retention ?cross_set config app clustering =
-  schedule_ctx ?retention ?cross_set config (Sched.Sched_ctx.make app clustering)
+  Result.map_error Diag.to_string
+    (run_full ?retention ?cross_set (Sched.Sched_ctx.make app clustering)
+       config)
 
 (* Warning-severity diagnostics for retention candidates the TF test turned
    down — surfaced by the pipeline's verbose mode, never fatal. *)
-let retention_diags (decision : Retention.decision) =
+let retention_warnings (decision : Retention.decision) =
   List.map
     (fun (cand, reason) ->
       let d = Sharing.data cand in
@@ -245,3 +253,31 @@ let retention_diags (decision : Retention.decision) =
         Diag.Retention_rejected "candidate %S not retained: %s" d.Data.name
         reason)
     decision.Retention.rejected
+
+let retention_diags decision = retention_warnings decision
+
+let scheduler : Sched.Scheduler_intf.t =
+  (module struct
+    let name = "cds"
+
+    let describe =
+      "Complete Data Scheduler (DATE'02): fragmentation-free allocation + \
+       TF-driven retention of shared data"
+
+    let run = run
+  end)
+
+let scheduler_xset : Sched.Scheduler_intf.t =
+  (module struct
+    let name = "cds-xset"
+
+    let describe =
+      "Complete Data Scheduler with the future-work cross-set reuse enabled"
+
+    let run ctx config =
+      Result.map (fun r -> r.schedule) (run_full ~cross_set:true ctx config)
+  end)
+
+let () =
+  Sched.Scheduler_registry.register scheduler;
+  Sched.Scheduler_registry.register scheduler_xset

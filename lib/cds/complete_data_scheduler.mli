@@ -25,6 +25,36 @@ type result = {
       (** the paper's DT column of Table 1 *)
 }
 
+val run_full :
+  ?retention:bool ->
+  ?cross_set:bool ->
+  Sched.Sched_ctx.t ->
+  Morphosys.Config.t ->
+  (result, Diag.t) Stdlib.result
+(** The single implementation every other entry point shims over. Returns
+    the rich {!result} (retention decision, RF, DT words) the pipeline and
+    reports need. [Error] is a [No_feasible_rf] or [Cm_overflow]
+    diagnostic under the same conditions as the Data Scheduler (some
+    [DS(C)] exceeding the FB set even at RF = 1, or context-memory
+    overflow). Profile and DS-formula lookups are O(1) through the
+    context; the retention pass runs incrementally
+    ({!Retention.choose_ctx}). *)
+
+val run :
+  Sched.Sched_ctx.t ->
+  Morphosys.Config.t ->
+  (Sched.Schedule.t, Diag.t) Stdlib.result
+(** The canonical entry point ({!Sched.Scheduler_intf.S.run}):
+    {!run_full} projected onto its schedule. *)
+
+val scheduler : Sched.Scheduler_intf.t
+(** The Complete Data Scheduler as a first-class value, registered in
+    {!Sched.Scheduler_registry} under ["cds"]. *)
+
+val scheduler_xset : Sched.Scheduler_intf.t
+(** {!run_full} with [~cross_set:true], registered under ["cds-xset"] —
+    the future-work cross-set reuse as a separately selectable policy. *)
+
 val schedule :
   ?retention:bool ->
   ?cross_set:bool ->
@@ -32,11 +62,9 @@ val schedule :
   Kernel_ir.Application.t ->
   Kernel_ir.Cluster.clustering ->
   (result, string) Stdlib.result
-(** [Error] under the same conditions as the Data Scheduler (some [DS(C)]
-    exceeding the FB set even at RF = 1, or context-memory overflow).
-    Builds a {!Sched.Sched_ctx} internally; callers scheduling the same
-    [(app, clustering)] repeatedly should build one and use
-    {!schedule_ctx}. *)
+(** Compat shim: {!run_full} on a fresh context, [Diag.to_string] errors.
+    Callers scheduling the same [(app, clustering)] repeatedly should
+    build one {!Sched.Sched_ctx} and use {!run_full}. *)
 
 val schedule_ctx :
   ?retention:bool ->
@@ -44,11 +72,7 @@ val schedule_ctx :
   Morphosys.Config.t ->
   Sched.Sched_ctx.t ->
   (result, string) Stdlib.result
-(** {!schedule} over a precomputed scheduling context: profile and
-    DS-formula lookups are O(1), the retention pass runs incrementally
-    ({!Retention.choose_ctx}), the no-retention case computes its
-    generators once, and the per-RF loop reuses generators when
-    successive reuse factors retain the same candidate set. *)
+(** Compat shim: {!run_full} with [Diag.to_string] errors. *)
 
 val schedule_diag :
   ?retention:bool ->
@@ -57,9 +81,7 @@ val schedule_diag :
   Kernel_ir.Application.t ->
   Kernel_ir.Cluster.clustering ->
   (result, Diag.t) Stdlib.result
-(** Structured variant of {!schedule}: failures are [No_feasible_rf] or
-    [Cm_overflow] diagnostics carrying the offending cluster where known.
-    The string APIs are shims over this via {!Diag.to_string}. *)
+(** Compat shim: {!run_full} on a fresh context. *)
 
 val schedule_ctx_diag :
   ?retention:bool ->
@@ -67,11 +89,14 @@ val schedule_ctx_diag :
   Morphosys.Config.t ->
   Sched.Sched_ctx.t ->
   (result, Diag.t) Stdlib.result
-(** {!schedule_diag} over a precomputed scheduling context. *)
+(** Compat shim: {!run_full} with the historical argument order. *)
 
-val retention_diags : Retention.decision -> Diag.t list
+val retention_warnings : Retention.decision -> Diag.t list
 (** One [Warning]-severity [Retention_rejected] diagnostic per candidate
     the retention pass declined, carrying the data name and the reason. *)
+
+val retention_diags : Retention.decision -> Diag.t list
+(** Compat shim for {!retention_warnings}. *)
 
 val schedule_reference :
   ?retention:bool ->

@@ -1,10 +1,11 @@
 type scheduled = { schedule : Sched.Schedule.t; metrics : Msim.Metrics.t }
 
-type tier = [ `Basic | `Ds | `Cds ]
+let default_ladder = [ "cds"; "ds"; "basic" ]
 
 type degradation = {
-  delivered : tier option;
-  chain : (tier * Diag.t) list;
+  delivered : string option;
+  chain : (string * Diag.t) list;
+  fallback : scheduled option;
 }
 
 type comparison = {
@@ -17,73 +18,83 @@ type comparison = {
   degradation : degradation option;
 }
 
-let tier_name = function `Basic -> "basic" | `Ds -> "ds" | `Cds -> "cds"
-
 let simulate ~validate config schedule =
   if validate then Msim.Validate.check_exn schedule;
   { schedule; metrics = Msim.Executor.run config schedule }
 
 let run ?(validate = true) ?(retention = true) ?(cross_set = false)
-    ?(degrade = false) config app clustering =
-  (* one analysis context serves all three scheduler paths *)
+    ?(degrade = false) ?(ladder = default_ladder) config app clustering =
+  (* one analysis context serves every scheduler in the registry *)
   let ctx = Sched.Sched_ctx.make app clustering in
   if not degrade then
     let basic =
       Result.map
         (simulate ~validate config)
-        (Sched.Basic_scheduler.schedule_ctx config ctx)
+        (Result.map_error Diag.to_string
+           (Sched.Scheduler_registry.run "basic" ctx config))
     in
     let ds =
       Result.map
         (simulate ~validate config)
-        (Sched.Data_scheduler.schedule_ctx config ctx)
+        (Result.map_error Diag.to_string
+           (Sched.Scheduler_registry.run "ds" ctx config))
     in
     let cds =
       Result.map
         (fun (r : Complete_data_scheduler.result) ->
           (simulate ~validate config r.Complete_data_scheduler.schedule, r))
-        (Complete_data_scheduler.schedule_ctx ~retention ~cross_set config ctx)
+        (Result.map_error Diag.to_string
+           (Complete_data_scheduler.run_full ~retention ~cross_set ctx config))
     in
     { app; config; clustering; basic; ds; cds; degradation = None }
   else
     (* Graceful mode: nothing raises. Validation failures (and any other
        exception a tier's path throws) become that tier's diagnostic and
-       the comparison records the CDS -> DS -> Basic degradation chain. *)
+       the comparison records the degradation chain down the ladder
+       (default CDS -> DS -> Basic). *)
     let sim ~scheduler schedule =
       Diag.protect ~scheduler ~code:Diag.Sim_divergence (fun () ->
           simulate ~validate config schedule)
     in
     let basic_d =
       Result.bind
-        (Sched.Basic_scheduler.schedule_ctx_diag config ctx)
+        (Sched.Scheduler_registry.run "basic" ctx config)
         (sim ~scheduler:"basic")
     in
     let ds_d =
       Result.bind
-        (Sched.Data_scheduler.schedule_ctx_diag config ctx)
+        (Sched.Scheduler_registry.run "ds" ctx config)
         (sim ~scheduler:"ds")
     in
     let cds_d =
       Result.bind
-        (Complete_data_scheduler.schedule_ctx_diag ~retention ~cross_set
-           config ctx)
+        (Complete_data_scheduler.run_full ~retention ~cross_set ctx config)
         (fun (r : Complete_data_scheduler.result) ->
           Result.map
             (fun s -> (s, r))
             (sim ~scheduler:"cds" r.Complete_data_scheduler.schedule))
     in
-    let chain, delivered =
-      let rec walk acc = function
-        | [] -> (List.rev acc, None)
-        | (tier, Ok ()) :: _ -> (List.rev acc, Some tier)
-        | (tier, Error d) :: rest -> walk ((tier, d) :: acc) rest
-      in
-      walk []
-        [
-          (`Cds, Result.map ignore cds_d);
-          (`Ds, Result.map ignore ds_d);
-          (`Basic, Result.map ignore basic_d);
-        ]
+    (* The three standard tiers above are reused when the ladder names
+       them; any other name dispatches through the registry, so a custom
+       ladder (say ["cds-xset"; "ds"]) degrades — and reports — exactly
+       the tiers the caller asked for. *)
+    let attempt name =
+      match name with
+      | "basic" -> basic_d
+      | "ds" -> ds_d
+      | "cds" -> Result.map fst cds_d
+      | _ ->
+        Result.bind
+          (Sched.Scheduler_registry.run name ctx config)
+          (sim ~scheduler:name)
+    in
+    let rec walk acc = function
+      | [] -> { delivered = None; chain = List.rev acc; fallback = None }
+      | name :: rest -> (
+        match attempt name with
+        | Ok s ->
+          { delivered = Some name; chain = List.rev acc; fallback = Some s }
+        | Error d -> walk ((name, d) :: acc) rest)
     in
     {
       app;
@@ -92,29 +103,21 @@ let run ?(validate = true) ?(retention = true) ?(cross_set = false)
       basic = Result.map_error Diag.to_string basic_d;
       ds = Result.map_error Diag.to_string ds_d;
       cds = Result.map_error Diag.to_string cds_d;
-      degradation = Some { delivered; chain };
+      degradation = Some (walk [] ladder);
     }
 
 let degraded_schedule t =
   match t.degradation with
-  | None | Some { delivered = None; _ } -> None
-  | Some { delivered = Some tier; _ } ->
-    let scheduled =
-      match tier with
-      | `Cds -> Result.to_option t.cds |> Option.map fst
-      | `Ds -> Result.to_option t.ds
-      | `Basic -> Result.to_option t.basic
-    in
-    Option.map (fun s -> (tier, s)) scheduled
+  | Some { delivered = Some name; fallback = Some s; _ } -> Some (name, s)
+  | _ -> None
 
 let pp_degradation fmt d =
   List.iter
-    (fun (tier, diag) ->
-      Format.fprintf fmt "%s unavailable: %s@." (tier_name tier)
-        (Diag.render diag))
+    (fun (name, diag) ->
+      Format.fprintf fmt "%s unavailable: %s@." name (Diag.render diag))
     d.chain;
   match d.delivered with
-  | Some tier -> Format.fprintf fmt "delivered by %s@." (tier_name tier)
+  | Some name -> Format.fprintf fmt "delivered by %s@." name
   | None -> Format.fprintf fmt "no scheduler tier is feasible@."
 
 let improvement t which =
@@ -143,19 +146,13 @@ let dt_words t =
     Some r.Complete_data_scheduler.data_words_avoided_per_iteration
   | Error _ -> None
 
-let auto_clustering ?(scheduler = `Cds) config app =
+let auto_clustering ?(scheduler = "cds") config app =
   let eval clustering =
-    let schedule =
-      match scheduler with
-      | `Basic -> Sched.Basic_scheduler.schedule config app clustering
-      | `Ds -> Sched.Data_scheduler.schedule config app clustering
-      | `Cds ->
-        Result.map
-          (fun (r : Complete_data_scheduler.result) ->
-            r.Complete_data_scheduler.schedule)
-          (Complete_data_scheduler.schedule config app clustering)
-    in
-    match schedule with
+    match
+      Sched.Scheduler_registry.run scheduler
+        (Sched.Sched_ctx.make app clustering)
+        config
+    with
     | Ok s -> Some (Msim.Executor.run config s).Msim.Metrics.total_cycles
     | Error _ -> None
   in
@@ -168,4 +165,5 @@ let allocation_report config app clustering =
       Allocation_algorithm.run ~analysis:(Sched.Sched_ctx.analysis ctx) config
         app clustering ~rf:r.Complete_data_scheduler.rf
         ~retention:r.Complete_data_scheduler.retention ~round:0)
-    (Complete_data_scheduler.schedule_ctx config ctx)
+    (Result.map_error Diag.to_string
+       (Complete_data_scheduler.run_full ctx config))

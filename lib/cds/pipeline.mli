@@ -1,20 +1,27 @@
 (** End-to-end compilation pipeline: kernel scheduling (clustering search),
     the three data schedulers (Basic / DS / CDS), simulation, validation and
     allocator statistics — everything Table 1 and Figure 6 need for one
-    experiment. *)
+    experiment. Scheduler dispatch goes through {!Sched.Scheduler_registry},
+    so the degradation ladder and the clustering search accept any
+    registered scheduler by name. *)
 
 type scheduled = { schedule : Sched.Schedule.t; metrics : Msim.Metrics.t }
 
-type tier = [ `Basic | `Ds | `Cds ]
-(** The degradation ladder, best first: CDS, then DS, then Basic. *)
+val default_ladder : string list
+(** [["cds"; "ds"; "basic"]] — the degradation ladder, best first. *)
 
 type degradation = {
-  delivered : tier option;
-      (** the best tier that produced a valid simulated schedule; [None]
-          when even Basic is infeasible *)
-  chain : (tier * Diag.t) list;
-      (** the failures encountered walking CDS -> DS -> Basic, in order,
-          up to (excluding) the delivered tier *)
+  delivered : string option;
+      (** the best ladder entry that produced a valid simulated schedule;
+          [None] when every entry failed *)
+  chain : (string * Diag.t) list;
+      (** the failures encountered walking the ladder, in order, up to
+          (excluding) the delivered entry — names come from the ladder
+          (i.e. the registry), not from a hard-coded tier list *)
+  fallback : scheduled option;
+      (** the delivered schedule itself; carried here because a custom
+          ladder may deliver a scheduler that has no column in
+          {!comparison} *)
 }
 
 type comparison = {
@@ -28,14 +35,12 @@ type comparison = {
       (** [Some] iff the comparison was produced by [run ~degrade:true] *)
 }
 
-val tier_name : tier -> string
-(** ["basic"] / ["ds"] / ["cds"]. *)
-
 val run :
   ?validate:bool ->
   ?retention:bool ->
   ?cross_set:bool ->
   ?degrade:bool ->
+  ?ladder:string list ->
   Morphosys.Config.t ->
   Kernel_ir.Application.t ->
   Kernel_ir.Cluster.clustering ->
@@ -47,18 +52,21 @@ val run :
     With [degrade] (default false) the pipeline never raises: each tier's
     failure — infeasibility, validation divergence, any exception — is
     captured as a structured diagnostic, and [degradation] records the
-    CDS -> DS -> Basic fallback chain together with the tier that finally
-    delivered ({!degraded_schedule}).
+    fallback chain down [ladder] (default {!default_ladder}) together
+    with the tier that finally delivered ({!degraded_schedule}). Ladder
+    entries beyond the standard three are resolved through
+    {!Sched.Scheduler_registry}; unknown names fail that rung with an
+    [Invalid_config] diagnostic and the walk continues.
     @raise Failure if validation finds a violation (a scheduler bug) and
     [degrade] is false. *)
 
-val degraded_schedule : comparison -> (tier * scheduled) option
+val degraded_schedule : comparison -> (string * scheduled) option
 (** The schedule the degradation ladder delivered — the best feasible tier
-    — or [None] when every tier failed (or [run] ran without [~degrade]
-    and the delivered tier cannot be identified). *)
+    with its registry name — or [None] when every tier failed (or [run]
+    ran without [~degrade]). *)
 
 val pp_degradation : Format.formatter -> degradation -> unit
-(** Renders the chain, one ["<tier> unavailable: <diag>"] line per failed
+(** Renders the chain, one ["<name> unavailable: <diag>"] line per failed
     tier, then the delivering tier. *)
 
 val improvement : comparison -> [ `Ds | `Cds ] -> float option
@@ -72,13 +80,14 @@ val dt_words : comparison -> int option
 (** Data words avoided per iteration by CDS retention (Table 1's DT). *)
 
 val auto_clustering :
-  ?scheduler:[ `Basic | `Ds | `Cds ] ->
+  ?scheduler:string ->
   Morphosys.Config.t ->
   Kernel_ir.Application.t ->
   (Kernel_ir.Cluster.clustering * int) option
-(** Kernel-scheduler search: the clustering minimising the chosen
-    scheduler's simulated cycles (default [`Cds]); [None] when no partition
-    is feasible. *)
+(** Kernel-scheduler search: the clustering minimising the named
+    scheduler's simulated cycles (default ["cds"]; any
+    {!Sched.Scheduler_registry} name is accepted); [None] when no
+    partition is feasible — or the name is unknown. *)
 
 val allocation_report :
   Morphosys.Config.t ->

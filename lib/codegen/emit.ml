@@ -149,3 +149,8 @@ let program_looped (schedule : Schedule.t) =
       @ [ Instruction.Halt ]
     | _ -> program schedule (* non-uniform rounds: keep the unrolled form *)
   end
+
+(* Diagnostic firewall over [program]: hand-built or corrupted schedules
+   whose transfer labels do not lower surface as diagnostics, not
+   [Invalid_argument]. *)
+let program_result schedule = Diag.guard (fun () -> program schedule)

@@ -12,6 +12,12 @@ val program : Sched.Schedule.t -> Instruction.program
 (** Fully unrolled: one instruction sequence per schedule step, absolute
     iteration references. *)
 
+val program_result :
+  Sched.Schedule.t -> (Instruction.program, Diag.t) Stdlib.result
+(** Exception firewall over {!program}: a schedule whose transfer labels
+    do not lower (hand-built or corrupted) comes back as an
+    [Invalid_app] diagnostic instead of an [Invalid_argument]. *)
+
 val program_looped : Sched.Schedule.t -> Instruction.program
 (** Compact form: the uniform middle rounds are rerolled into one
     zero-overhead {!Instruction.constructor-Loop} with round-relative DMA

@@ -141,6 +141,16 @@ let run config program =
     instructions_retired = state.retired;
   }
 
+(* Diagnostic firewall over [run]: machine faults (and any malformed
+   program the stepper trips over) come back as structured diagnostics
+   instead of exceptions. *)
+let run_result config program =
+  match run config program with
+  | r -> Ok r
+  | exception Fault msg -> Error (Diag.v Diag.Sim_divergence "%s" msg)
+  | exception e ->
+    Error (Diag.of_exn ~backtrace:(Printexc.get_backtrace ()) e)
+
 let pp_result fmt r =
   Format.fprintf fmt
     "cycles=%d dma_busy=%d ctx=%dw loads=%dw stores=%dw evictions=%d insns=%d"

@@ -28,5 +28,12 @@ exception Fault of string
     without [Halt]. *)
 
 val run : Morphosys.Config.t -> Instruction.program -> result
+(** @raise Fault on a machine fault (see {!Fault}). *)
+
+val run_result :
+  Morphosys.Config.t -> Instruction.program -> (result, Diag.t) Stdlib.result
+(** Exception firewall over {!run}: a machine fault becomes a
+    [Sim_divergence] diagnostic; any other escaping exception is
+    classified by {!Diag.of_exn}. *)
 
 val pp_result : Format.formatter -> result -> unit

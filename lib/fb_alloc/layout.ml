@@ -25,10 +25,15 @@ let free_words t = Free_list.free_words t.free
 let largest_free t = Free_list.largest_free t.free
 let placed t ~label = Hashtbl.mem t.placed_table label
 
+let placement_of_opt t ~label =
+  Option.map
+    (fun intervals -> { label; intervals })
+    (Hashtbl.find_opt t.placed_table label)
+
 let placement_of t ~label =
-  match Hashtbl.find_opt t.placed_table label with
-  | Some intervals -> { label; intervals }
-  | None -> raise Not_found
+  match placement_of_opt t ~label with
+  | Some p -> p
+  | None -> invalid_arg ("Layout.placement_of: not placed: " ^ label)
 
 let placements t =
   Hashtbl.fold
@@ -78,7 +83,7 @@ let place t ~label ~words ~from =
 
 let release t ~label =
   match Hashtbl.find_opt t.placed_table label with
-  | None -> raise Not_found
+  | None -> invalid_arg ("Layout.release: not placed: " ^ label)
   | Some intervals ->
     Hashtbl.remove t.placed_table label;
     List.iter (Free_list.release t.free) intervals

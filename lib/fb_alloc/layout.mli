@@ -26,11 +26,15 @@ val place :
     @raise Invalid_argument if [label] is already placed. *)
 
 val release : t -> label:string -> unit
-(** Frees the object's intervals. @raise Not_found if not placed. *)
+(** Frees the object's intervals.
+    @raise Invalid_argument naming the label if it is not placed. *)
 
 val placed : t -> label:string -> bool
+
+val placement_of_opt : t -> label:string -> placement option
+
 val placement_of : t -> label:string -> placement
-(** @raise Not_found *)
+(** @raise Invalid_argument naming the label if it is not placed. *)
 
 val placements : t -> placement list
 (** Sorted by first interval address. *)

@@ -42,6 +42,9 @@ let point_of_schedule config ~fb ~cm ~setup ~scheduler = function
       diag = None;
     }
 
+(* The default sweep axis: the paper's three tiers. Other registered
+   schedulers (e.g. "cds-xset") can be swept by passing an explicit
+   [~scheduler] to {!evaluate}. *)
 let schedulers = [ "basic"; "ds"; "cds" ]
 
 let evaluate ?ctx ~fb ~cm ~setup ~scheduler app clustering =
@@ -54,17 +57,8 @@ let evaluate ?ctx ~fb ~cm ~setup ~scheduler app clustering =
     | Some c -> c
     | None -> Sched.Sched_ctx.make app clustering
   in
-  let mk = point_of_schedule config ~fb ~cm ~setup in
-  match scheduler with
-  | "basic" ->
-    mk ~scheduler (Sched.Basic_scheduler.schedule_ctx_diag config ctx)
-  | "ds" -> mk ~scheduler (Sched.Data_scheduler.schedule_ctx_diag config ctx)
-  | "cds" ->
-    mk ~scheduler
-      (Result.map
-         (fun r -> r.Cds.Complete_data_scheduler.schedule)
-         (Cds.Complete_data_scheduler.schedule_ctx_diag config ctx))
-  | s -> invalid_arg ("Dse.evaluate: unknown scheduler " ^ s)
+  point_of_schedule config ~fb ~cm ~setup ~scheduler
+    (Sched.Scheduler_registry.run scheduler ctx config)
 
 let point_key ~app_digest (fb, cm, setup, scheduler) =
   Engine.Key.combine

@@ -14,8 +14,9 @@ let figure5 () =
   let app = Workloads.Synthetic.figure5 () in
   let clustering = Workloads.Synthetic.figure5_clustering app in
   let config = Morphosys.Config.m1 ~fb_set_size:512 in
-  match Cds.Complete_data_scheduler.schedule config app clustering with
-  | Error e -> Format.fprintf fmt "infeasible: %s@\n" e
+  let ctx = Sched.Sched_ctx.make app clustering in
+  match Cds.Complete_data_scheduler.run_full ctx config with
+  | Error d -> Format.fprintf fmt "infeasible: %s@\n" (Diag.to_string d)
   | Ok r ->
     let focus = Workloads.Synthetic.figure5_focus_cluster in
     let result =
@@ -43,7 +44,11 @@ let figure3 () =
   let config = Morphosys.Config.m1 ~fb_set_size:1024 in
   let clustering = Kernel_ir.Cluster.whole_application app in
   let rf =
-    match Cds.Complete_data_scheduler.schedule config app clustering with
+    match
+      Cds.Complete_data_scheduler.run_full
+        (Sched.Sched_ctx.make app clustering)
+        config
+    with
     | Ok r -> r.Cds.Complete_data_scheduler.rf
     | Error _ -> 1
   in
@@ -201,8 +206,9 @@ let code_size () =
     List.filter_map
       (fun (e : T1.experiment) ->
         match
-          Cds.Complete_data_scheduler.schedule e.T1.config e.T1.app
-            e.T1.clustering
+          Cds.Complete_data_scheduler.run_full
+            (Sched.Sched_ctx.make e.T1.app e.T1.clustering)
+            e.T1.config
         with
         | Error _ -> None
         | Ok r ->
@@ -234,7 +240,9 @@ let heuristic_quality () =
       (fun (name, app, config) ->
         let eval clustering =
           match
-            Cds.Complete_data_scheduler.schedule config app clustering
+            Cds.Complete_data_scheduler.run_full
+              (Sched.Sched_ctx.make app clustering)
+              config
           with
           | Ok r ->
             Some

@@ -26,14 +26,9 @@ type verdict =
   | Violated of string
 
 let schedule_of ~scheduler config app clustering =
-  match scheduler with
-  | "basic" -> Sched.Basic_scheduler.schedule_diag config app clustering
-  | "ds" -> Sched.Data_scheduler.schedule_diag config app clustering
-  | "cds" ->
-    Result.map
-      (fun r -> r.Cds.Complete_data_scheduler.schedule)
-      (Cds.Complete_data_scheduler.schedule_diag config app clustering)
-  | s -> invalid_arg ("Fuzz.schedule_of: unknown scheduler " ^ s)
+  Sched.Scheduler_registry.run scheduler
+    (Sched.Sched_ctx.make app clustering)
+    config
 
 let verdict_of ~scheduler config app clustering =
   match schedule_of ~scheduler config app clustering with

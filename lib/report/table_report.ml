@@ -75,17 +75,14 @@ let infeasibility () =
   let app = Workloads.Mpeg.app () in
   let clustering = Workloads.Mpeg.clustering app in
   let config = Morphosys.Config.m1 ~fb_set_size:1024 in
-  let describe name = function
+  let ctx = Sched.Sched_ctx.make app clustering in
+  let describe name =
+    match Sched.Scheduler_registry.run name ctx config with
     | Ok (_ : Sched.Schedule.t) -> Format.fprintf fmt "%-6s: runs@\n" name
-    | Error e -> Format.fprintf fmt "%-6s: infeasible (%s)@\n" name e
+    | Error d ->
+      Format.fprintf fmt "%-6s: infeasible (%s)@\n" name (Diag.to_string d)
   in
-  describe "basic" (Sched.Basic_scheduler.schedule config app clustering);
-  describe "ds" (Sched.Data_scheduler.schedule config app clustering);
-  describe "cds"
-    (Result.map
-       (fun (r : Cds.Complete_data_scheduler.result) ->
-         r.Cds.Complete_data_scheduler.schedule)
-       (Cds.Complete_data_scheduler.schedule config app clustering))
+  List.iter describe Dse.schedulers
 
 let to_csv rows =
   let buf = Buffer.create 1024 in

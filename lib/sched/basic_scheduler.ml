@@ -33,7 +33,9 @@ let overflow_cluster config fps =
   in
   go 0 fps
 
-let schedule_ctx_diag config (ctx : Sched_ctx.t) =
+(* The single implementation: every public entry point below is a thin
+   shim over [run]. *)
+let run (ctx : Sched_ctx.t) (config : Morphosys.Config.t) =
   match Engine.Faults.hit "sched" with
   | exception Engine.Faults.Injected site ->
     Error
@@ -41,7 +43,7 @@ let schedule_ctx_diag config (ctx : Sched_ctx.t) =
          "injected fault at scheduler entry (%s)" site)
   | () -> (
     let app = Sched_ctx.app ctx and clustering = Sched_ctx.clustering ctx in
-    match Context_scheduler.plan_ctx_diag config (Sched_ctx.analysis ctx) with
+    match Context_scheduler.plan_of_analysis config (Sched_ctx.analysis ctx) with
     | Error d -> Error (Diag.with_scheduler "basic" d)
     | Ok ctx_plan -> (
       match overflow_cluster config (Sched_ctx.basic_footprints_list ctx) with
@@ -57,11 +59,22 @@ let schedule_ctx_diag config (ctx : Sched_ctx.t) =
                (Xfer_gen.store_everything_ctx (Sched_ctx.analysis ctx))
              ~scheduler:"basic")))
 
-let schedule_ctx config ctx =
-  Result.map_error Diag.to_string (schedule_ctx_diag config ctx)
-
-let schedule_diag config app clustering =
-  schedule_ctx_diag config (Sched_ctx.make app clustering)
+(* compat shims *)
+let schedule_ctx_diag config ctx = run ctx config
+let schedule_ctx config ctx = Result.map_error Diag.to_string (run ctx config)
+let schedule_diag config app clustering = run (Sched_ctx.make app clustering) config
 
 let schedule config app clustering =
-  schedule_ctx config (Sched_ctx.make app clustering)
+  Result.map_error Diag.to_string (run (Sched_ctx.make app clustering) config)
+
+let scheduler : Scheduler_intf.t =
+  (module struct
+    let name = "basic"
+
+    let describe =
+      "Basic Scheduler (DATE'99 baseline): no data reuse, RF fixed at 1"
+
+    let run = run
+  end)
+
+let () = Scheduler_registry.register scheduler

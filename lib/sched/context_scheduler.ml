@@ -64,16 +64,13 @@ let plan_sizes (config : Morphosys.Config.t) sizes =
         reserve = rotation_reserve sizes unpinned;
       }
 
-let plan_diag (config : Morphosys.Config.t) app clustering =
+let plan_app (config : Morphosys.Config.t) app clustering =
   plan_sizes config
     (List.map (fun c -> (c.Cluster.id, context_words app c)) clustering)
 
-let plan config app clustering =
-  Result.map_error Diag.to_string (plan_diag config app clustering)
-
 (* The profile already carries each cluster's context-word sum, so the
    indexed path plans without touching the application again. *)
-let plan_ctx_diag (config : Morphosys.Config.t)
+let plan_of_analysis (config : Morphosys.Config.t)
     (analysis : Kernel_ir.Analysis.t) =
   plan_sizes config
     (Array.to_list
@@ -83,8 +80,16 @@ let plan_ctx_diag (config : Morphosys.Config.t)
              p.Kernel_ir.Info_extractor.contexts))
           analysis.Kernel_ir.Analysis.profiles))
 
+(* compat shims over the two canonical planners *)
+let plan_diag config app clustering = plan_app config app clustering
+
+let plan config app clustering =
+  Result.map_error Diag.to_string (plan_app config app clustering)
+
+let plan_ctx_diag config analysis = plan_of_analysis config analysis
+
 let plan_ctx config analysis =
-  Result.map_error Diag.to_string (plan_ctx_diag config analysis)
+  Result.map_error Diag.to_string (plan_of_analysis config analysis)
 
 let load_words_for_round plan ~app ~clustering ~cluster ~round =
   ignore clustering;

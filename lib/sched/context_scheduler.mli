@@ -14,29 +14,42 @@ type plan = {
   reserve : int;  (** CM words kept free for unpinned rotation *)
 }
 
+val plan_app :
+  Morphosys.Config.t ->
+  Kernel_ir.Application.t ->
+  Kernel_ir.Cluster.clustering ->
+  (plan, Diag.t) result
+(** Canonical list-based planner. [Error] is a [Cm_overflow] diagnostic
+    naming the offending cluster when some single cluster's contexts
+    exceed the CM capacity — no schedule can run that clustering. *)
+
+val plan_of_analysis :
+  Morphosys.Config.t -> Kernel_ir.Analysis.t -> (plan, Diag.t) result
+(** Canonical indexed planner: the per-cluster context words come from the
+    analysis context's profiles instead of being re-summed from the
+    application. This is the entry point the schedulers use. *)
+
 val plan :
   Morphosys.Config.t ->
   Kernel_ir.Application.t ->
   Kernel_ir.Cluster.clustering ->
   (plan, string) result
-(** [Error] when some single cluster's contexts exceed the CM capacity —
-    no schedule can run that clustering. String shim over {!plan_diag}. *)
+(** Compat shim: {!plan_app} with [Diag.to_string] errors. *)
 
 val plan_diag :
   Morphosys.Config.t ->
   Kernel_ir.Application.t ->
   Kernel_ir.Cluster.clustering ->
   (plan, Diag.t) result
-(** Structured variant: the failure is a [Cm_overflow] diagnostic naming
-    the offending cluster. *)
+(** Compat shim for {!plan_app}. *)
 
 val plan_ctx :
   Morphosys.Config.t -> Kernel_ir.Analysis.t -> (plan, string) result
-(** Same plan, but the per-cluster context words come from the analysis
-    context's profiles instead of being re-summed from the application. *)
+(** Compat shim: {!plan_of_analysis} with [Diag.to_string] errors. *)
 
 val plan_ctx_diag :
   Morphosys.Config.t -> Kernel_ir.Analysis.t -> (plan, Diag.t) result
+(** Compat shim for {!plan_of_analysis}. *)
 
 val context_words :
   Kernel_ir.Application.t -> Kernel_ir.Cluster.t -> int

@@ -73,8 +73,10 @@ let schedule_reference ?(alloc_efficiency = default_efficiency) config app
                ~generators:(Xfer_gen.plain app clustering)
                ~scheduler:"ds")))
 
-let schedule_ctx_diag ?(alloc_efficiency = default_efficiency) config
-    (ctx : Sched_ctx.t) =
+(* The single implementation: every public entry point below is a thin
+   shim over [run_with] / [run]. *)
+let run_with ?(alloc_efficiency = default_efficiency) (ctx : Sched_ctx.t)
+    (config : Morphosys.Config.t) =
   match Engine.Faults.hit "sched" with
   | exception Engine.Faults.Injected site ->
     Error
@@ -82,7 +84,7 @@ let schedule_ctx_diag ?(alloc_efficiency = default_efficiency) config
          "injected fault at scheduler entry (%s)" site)
   | () -> (
   let app = Sched_ctx.app ctx and clustering = Sched_ctx.clustering ctx in
-  match Context_scheduler.plan_ctx_diag config (Sched_ctx.analysis ctx) with
+  match Context_scheduler.plan_of_analysis config (Sched_ctx.analysis ctx) with
   | Error d -> Error (Diag.with_scheduler "ds" d)
   | Ok ctx_plan -> (
     match
@@ -124,12 +126,31 @@ let schedule_ctx_diag ?(alloc_efficiency = default_efficiency) config
            ~generators:(Xfer_gen.plain_ctx analysis)
            ~scheduler:"ds")))
 
+let run ctx config = run_with ctx config
+
+(* compat shims *)
+let schedule_ctx_diag ?alloc_efficiency config ctx =
+  run_with ?alloc_efficiency ctx config
+
 let schedule_ctx ?alloc_efficiency config ctx =
-  Result.map_error Diag.to_string
-    (schedule_ctx_diag ?alloc_efficiency config ctx)
+  Result.map_error Diag.to_string (run_with ?alloc_efficiency ctx config)
 
 let schedule_diag ?alloc_efficiency config app clustering =
-  schedule_ctx_diag ?alloc_efficiency config (Sched_ctx.make app clustering)
+  run_with ?alloc_efficiency (Sched_ctx.make app clustering) config
 
 let schedule ?alloc_efficiency config app clustering =
-  schedule_ctx ?alloc_efficiency config (Sched_ctx.make app clustering)
+  Result.map_error Diag.to_string
+    (run_with ?alloc_efficiency (Sched_ctx.make app clustering) config)
+
+let scheduler : Scheduler_intf.t =
+  (module struct
+    let name = "ds"
+
+    let describe =
+      "Data Scheduler (ISSS'01): in-place replacement, loop fission, no \
+       inter-cluster reuse"
+
+    let run = run
+  end)
+
+let () = Scheduler_registry.register scheduler

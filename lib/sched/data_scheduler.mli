@@ -19,26 +19,41 @@
 val default_efficiency : float
 (** 0.85 — the fraction of the FB set the [5] allocator packs usefully. *)
 
+val run_with :
+  ?alloc_efficiency:float ->
+  Sched_ctx.t ->
+  Morphosys.Config.t ->
+  (Schedule.t, Diag.t) result
+(** The single implementation every other entry point shims over.
+    [Error] is a [No_feasible_rf] or [Cm_overflow] diagnostic when even
+    RF = 1 does not fit (some [DS(C)] exceeds the packable fraction of
+    the FB set) or the context memory cannot hold some cluster.
+    @raise Invalid_argument if [alloc_efficiency] is outside (0, 1]. *)
+
+val run : Sched_ctx.t -> Morphosys.Config.t -> (Schedule.t, Diag.t) result
+(** The canonical entry point ({!Scheduler_intf.S.run}): {!run_with} at
+    the default allocation efficiency. *)
+
+val scheduler : Scheduler_intf.t
+(** The Data Scheduler as a first-class value, registered in
+    {!Scheduler_registry} under ["ds"]. *)
+
 val schedule :
   ?alloc_efficiency:float ->
   Morphosys.Config.t ->
   Kernel_ir.Application.t ->
   Kernel_ir.Cluster.clustering ->
   (Schedule.t, string) result
-(** [Error] when even RF = 1 does not fit (some [DS(C)] exceeds the packable
-    fraction of the FB set) or the context memory cannot hold some cluster.
-    Builds a {!Sched_ctx} internally; callers scheduling the same
-    [(app, clustering)] repeatedly should build one and use
-    {!schedule_ctx}.
-    @raise Invalid_argument if [alloc_efficiency] is outside (0, 1]. *)
+(** Compat shim: {!run_with} on a fresh context, [Diag.to_string] errors.
+    Callers scheduling the same [(app, clustering)] repeatedly should
+    build one {!Sched_ctx} and use {!run_with}. *)
 
 val schedule_ctx :
   ?alloc_efficiency:float ->
   Morphosys.Config.t ->
   Sched_ctx.t ->
   (Schedule.t, string) result
-(** {!schedule} over a precomputed scheduling context — O(1) profile and
-    DS-formula lookups instead of recomputing them from the application. *)
+(** Compat shim: {!run_with} with [Diag.to_string] errors. *)
 
 val schedule_diag :
   ?alloc_efficiency:float ->
@@ -46,16 +61,14 @@ val schedule_diag :
   Kernel_ir.Application.t ->
   Kernel_ir.Cluster.clustering ->
   (Schedule.t, Diag.t) result
-(** Structured variant of {!schedule}: failures are [No_feasible_rf] or
-    [Cm_overflow] diagnostics.  The string APIs are shims over this via
-    {!Diag.to_string}. *)
+(** Compat shim: {!run_with} on a fresh context. *)
 
 val schedule_ctx_diag :
   ?alloc_efficiency:float ->
   Morphosys.Config.t ->
   Sched_ctx.t ->
   (Schedule.t, Diag.t) result
-(** {!schedule_diag} over a precomputed scheduling context. *)
+(** Compat shim: {!run_with} with the historical argument order. *)
 
 val schedule_reference :
   ?alloc_efficiency:float ->

@@ -1,0 +1,19 @@
+module type S = sig
+  val name : string
+  val describe : string
+  val run : Sched_ctx.t -> Morphosys.Config.t -> (Schedule.t, Diag.t) result
+end
+
+type t = (module S)
+
+let name (m : t) =
+  let module M = (val m) in
+  M.name
+
+let describe (m : t) =
+  let module M = (val m) in
+  M.describe
+
+let run (m : t) ctx config =
+  let module M = (val m) in
+  M.run ctx config

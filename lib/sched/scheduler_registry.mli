@@ -1,0 +1,37 @@
+(** Registry of the first-class schedulers ({!Scheduler_intf.S}).
+
+    Basic and DS register themselves here when [lib/sched] is linked; CDS
+    (and its cross-set variant) when [lib/cds] is. Everything downstream —
+    {!Cds.Pipeline} (including the degradation ladder), [Report.Dse],
+    [Report.Fuzz] and the [msched] CLI ([--scheduler NAME],
+    [msched schedulers]) — dispatches by name through this table, so adding
+    a fourth scheduling policy is one [register] call, not a three-surface
+    fork. *)
+
+val register : Scheduler_intf.t -> unit
+(** Publish a scheduler under its [name].
+    @raise Invalid_argument if the name is already registered (the table
+    is left unchanged). *)
+
+val find : string -> Scheduler_intf.t option
+
+val find_exn : string -> Scheduler_intf.t
+(** @raise Invalid_argument on an unknown name, listing the known ones. *)
+
+val run :
+  string ->
+  Sched_ctx.t ->
+  Morphosys.Config.t ->
+  (Schedule.t, Diag.t) result
+(** [run name ctx config] dispatches to the named scheduler; an unknown
+    name yields an [Invalid_config] diagnostic (never raises), which is
+    what a degradation ladder built from user-supplied tier names wants. *)
+
+val all : unit -> Scheduler_intf.t list
+(** Every registered scheduler, sorted by name — deterministic regardless
+    of link or registration order. *)
+
+val names : unit -> string list
+(** [List.map Scheduler_intf.name (all ())]. *)
+
+val mem : string -> bool

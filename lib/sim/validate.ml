@@ -133,13 +133,17 @@ let check (schedule : Schedule.t) =
     schedule.clustering;
   List.rev state.violations
 
-let check_exn schedule =
+let check_result schedule =
   match check schedule with
-  | [] -> ()
+  | [] -> Ok ()
   | violations ->
-    let msg =
-      violations
-      |> List.map (Format.asprintf "%a" pp_violation)
-      |> String.concat "; "
-    in
-    failwith ("Validate.check_exn: " ^ msg)
+    Error
+      (Diag.v Diag.Sim_divergence "%s"
+         (violations
+         |> List.map (Format.asprintf "%a" pp_violation)
+         |> String.concat "; "))
+
+let check_exn schedule =
+  match check_result schedule with
+  | Ok () -> ()
+  | Error d -> failwith ("Validate.check_exn: " ^ d.Diag.message)

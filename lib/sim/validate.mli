@@ -22,7 +22,12 @@ type violation = { step_index : int; message : string }
 val check : Sched.Schedule.t -> violation list
 (** Empty list = schedule is semantically sound. *)
 
+val check_result : Sched.Schedule.t -> (unit, Diag.t) result
+(** {!check} as a structured result: the violations joined into one
+    [Sim_divergence] diagnostic. *)
+
 val check_exn : Sched.Schedule.t -> unit
-(** @raise Failure with a joined diagnostic if any violation is found. *)
+(** @raise Failure with a joined diagnostic if any violation is found.
+    Callers that must not raise should use {!check_result}. *)
 
 val pp_violation : Format.formatter -> violation -> unit

@@ -32,16 +32,15 @@ let prop_degrade_always_delivers (app, clustering) =
     QCheck.Test.fail_reportf "no tier delivered; chain: %s"
       (String.concat "; "
          (List.map
-            (fun (t, diag) ->
-              Pipeline.tier_name t ^ ": " ^ Diag.render diag)
+            (fun (t, diag) -> t ^ ": " ^ Diag.render diag)
             d.Pipeline.chain)));
   (* the chain walks CDS -> DS -> Basic in order *)
   let tiers = List.map fst d.Pipeline.chain in
   (match tiers with
-  | [] | [ `Cds ] | [ `Cds; `Ds ] -> ()
-  | _ -> QCheck.Test.fail_report "chain is not a CDS,DS prefix");
+  | [] | [ "cds" ] | [ "cds"; "ds" ] -> ()
+  | _ -> QCheck.Test.fail_report "chain is not a cds,ds prefix");
   (* the recorded reason is the CDS diagnostic the string API reports *)
-  (match (List.assoc_opt `Cds d.Pipeline.chain, c.Pipeline.cds) with
+  (match (List.assoc_opt "cds" d.Pipeline.chain, c.Pipeline.cds) with
   | Some diag, Error msg ->
     if Diag.to_string diag <> msg then
       QCheck.Test.fail_reportf "chain diag %S <> cds error %S"
@@ -83,7 +82,7 @@ let test_degrade_infeasible_everywhere () =
     Alcotest.(check bool) "nothing delivered" true (d.Pipeline.delivered = None);
     Alcotest.(check (list string)) "all three tiers failed"
       [ "cds"; "ds"; "basic" ]
-      (List.map (fun (t, _) -> Pipeline.tier_name t) d.Pipeline.chain);
+      (List.map fst d.Pipeline.chain);
     let rendered = Format.asprintf "%a" Pipeline.pp_degradation d in
     Alcotest.(check bool) "pp mentions infeasibility" true
       (contains rendered "no scheduler tier is feasible")

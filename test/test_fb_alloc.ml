@@ -119,9 +119,14 @@ let test_layout_place_release () =
   Layout.release lay ~label:"x";
   Alcotest.(check bool) "released" false (Layout.placed lay ~label:"x");
   Alcotest.(check int) "free again" 100 (Layout.free_words lay);
-  match Layout.release lay ~label:"x" with
-  | exception Not_found -> ()
-  | () -> Alcotest.fail "double release must fail"
+  (match Layout.release lay ~label:"x" with
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool) "error names the label" true
+      (Astring_contains.contains msg "x")
+  | () -> Alcotest.fail "double release must fail");
+  match Layout.placement_of_opt lay ~label:"x" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "released label must have no placement"
 
 let test_layout_regularity () =
   let lay = Layout.create ~size:100 in

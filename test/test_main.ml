@@ -34,4 +34,5 @@ let () =
       Test_misc_coverage.tests;
       Test_diagnostics.tests;
       Test_degrade.tests;
+      Test_registry.tests;
     ]

@@ -48,7 +48,7 @@ let test_auto_clustering () =
     | Error e -> Alcotest.fail e)
   | None -> Alcotest.fail "no feasible clustering found");
   (* basic objective also works *)
-  match P.auto_clustering ~scheduler:`Basic config app with
+  match P.auto_clustering ~scheduler:"basic" config app with
   | Some _ -> ()
   | None -> Alcotest.fail "basic auto-clustering failed"
 
