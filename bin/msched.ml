@@ -8,7 +8,9 @@
      dot       emit the kernel graph as Graphviz DOT
      table1    reproduce the paper's Table 1 + Figure 6
      figures   reproduce Figures 3 and 5 and the allocator-quality table
-     dse       parallel cached design-space exploration (--jobs/--cache/--stats)
+     dse       parallel cached design-space exploration (--jobs/--cache/--stats),
+               durable and resumable with --store PATH / --resume
+     store     inspect and maintain the on-disk result stores (info/verify/gc)
      fuzz      random-application differential fuzzing against the validator *)
 
 open Cmdliner
@@ -463,8 +465,32 @@ let dse_cmd =
              $(b,--cache) is set) — demonstrates memoisation and \
              steadies timings.")
   in
+  let store_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"PATH"
+          ~doc:
+            "Persist every completed design point to a checksummed on-disk \
+             store at PATH (journal at PATH.journal) as it finishes — not \
+             at the end — so an interrupted sweep can be resumed with \
+             $(b,--resume). Without $(b,--resume), an existing non-empty \
+             PATH is refused.")
+  in
+  let resume_arg =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "With $(b,--store): reopen an existing store and recompute only \
+             the design points it does not already hold; the sweep identity \
+             (workload, clustering, axes, scheduler set) must match the one \
+             recorded in the journal. The resulting point list is \
+             byte-identical to an uninterrupted run.")
+  in
   let run name file partition fb_list cm_list setup_list jobs use_cache repeat
-      stats csv fault_rate fault_seed fault_sites fault_retries =
+      stats csv store_path resume fault_rate fault_seed fault_sites
+      fault_retries =
     match resolve_source ~name ~file with
     | Error e -> `Error (false, e)
     | Ok source -> (
@@ -472,42 +498,173 @@ let dse_cmd =
       let config = config_of source ~fb:None ~cm:None in
       match clustering_of source ~partition ~auto:false ~config with
       | Error e -> `Error (false, e)
-      | Ok clustering ->
+      | Ok clustering -> (
         let jobs = resolve_jobs jobs in
-        let armed =
-          arm_faults ~rate:fault_rate ~seed:fault_seed ~sites:fault_sites
+        let durable =
+          match store_path with
+          | None -> Ok None
+          | Some path ->
+            Result.map Option.some
+              (Report.Dse.Durable.open_ ~resume ~path ~cm_list ~setup_list
+                 ~fb_list app clustering)
         in
-        Fun.protect ~finally:Engine.Faults.disarm @@ fun () ->
-        let cache =
-          if use_cache then Some (Engine.Cache.create ()) else None
-        in
-        let st = if stats then Some (Engine.Stats.create ()) else None in
-        let sweep () =
-          Report.Dse.sweep ~jobs ~retries:fault_retries ?cache ?stats:st
-            ~cm_list ~setup_list ~fb_list app clustering
-        in
-        let points = ref (sweep ()) in
-        for _ = 2 to max 1 repeat do
-          points := sweep ()
-        done;
-        report_points ~csv !points;
-        (match st with
-        | Some st -> Format.eprintf "%a@." Engine.Stats.pp st
-        | None -> ());
-        report_faults armed;
-        `Ok ())
+        match durable with
+        | Error d -> `Error (false, Diag.render d)
+        | Ok durable ->
+          (* On Ctrl-C / TERM, flush the store before dying: every
+             journalled point survives and --resume picks up from there.
+             (checkpoint is lock-free, so this is safe even if a worker
+             domain is mid-append.) *)
+          (match durable with
+          | Some d ->
+            let flush_and_exit code =
+              Sys.Signal_handle
+                (fun _ ->
+                  Report.Dse.Durable.checkpoint d;
+                  exit code)
+            in
+            Sys.set_signal Sys.sigint (flush_and_exit 130);
+            Sys.set_signal Sys.sigterm (flush_and_exit 143)
+          | None -> ());
+          let armed =
+            arm_faults ~rate:fault_rate ~seed:fault_seed ~sites:fault_sites
+          in
+          Fun.protect ~finally:Engine.Faults.disarm @@ fun () ->
+          let cache =
+            if use_cache then Some (Engine.Cache.create ()) else None
+          in
+          let st = if stats then Some (Engine.Stats.create ()) else None in
+          let sweep () =
+            Report.Dse.sweep ~jobs ~retries:fault_retries ?cache ?stats:st
+              ?store:durable ~cm_list ~setup_list ~fb_list app clustering
+          in
+          let points = ref (sweep ()) in
+          for _ = 2 to max 1 repeat do
+            points := sweep ()
+          done;
+          (match durable with
+          | Some d ->
+            Report.Dse.Durable.checkpoint d;
+            List.iter
+              (fun w -> Format.eprintf "%s@." (Diag.render w))
+              (Report.Dse.Durable.warnings d);
+            Report.Dse.Durable.close d
+          | None -> ());
+          report_points ~csv !points;
+          (match st with
+          | Some st -> Format.eprintf "%a@." Engine.Stats.pp st
+          | None -> ());
+          report_faults armed;
+          (* A sweep in which nothing is feasible produced no sizing
+             information: that is a failed exploration, not a success. *)
+          (match Report.Dse.all_infeasible_diag !points with
+          | Some d -> `Error (false, Diag.render d)
+          | None -> `Ok ())))
   in
   Cmd.v
     (Cmd.info "dse"
        ~doc:
          "Parallel cached design-space exploration: the full (FB, CM, DMA \
-          setup, scheduler) cross product on an engine worker pool")
+          setup, scheduler) cross product on an engine worker pool, \
+          optionally persisted ($(b,--store)) and resumable ($(b,--resume))")
     Term.(
       ret
         (const run $ workload_arg $ file_arg $ partition_arg $ fb_list_arg
        $ cm_list_arg $ setup_list_arg $ jobs_arg $ cache_arg $ repeat_arg
-       $ stats_arg $ csv_arg $ fault_rate_arg $ fault_seed_arg
-       $ fault_sites_arg $ fault_retries_arg))
+       $ stats_arg $ csv_arg $ store_arg $ resume_arg $ fault_rate_arg
+       $ fault_seed_arg $ fault_sites_arg $ fault_retries_arg))
+
+(* -- store maintenance (Engine.Store / Engine.Journal) ------------------ *)
+
+let store_path_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"PATH"
+        ~doc:"Result-store file (as passed to $(b,msched dse --store)).")
+
+let store_info_cmd =
+  let run path =
+    match Engine.Store.verify path with
+    | Error d -> `Error (false, Diag.render d)
+    | Ok r ->
+      Printf.printf "store: %s\n" path;
+      Printf.printf "  format:           %d, schema %d\n"
+        Engine.Store.format_version r.Engine.Store.v_schema;
+      Printf.printf "  physical records: %d\n" r.Engine.Store.v_physical_records;
+      Printf.printf "  distinct keys:    %d\n" r.Engine.Store.v_distinct_keys;
+      Printf.printf "  bytes:            %d (%d intact)\n"
+        r.Engine.Store.v_file_bytes r.Engine.Store.v_intact_bytes;
+      (match r.Engine.Store.v_corruption with
+      | Some d -> Printf.printf "  corruption:       %s\n" (Diag.to_string d)
+      | None -> Printf.printf "  corruption:       none\n");
+      let jpath = path ^ ".journal" in
+      if Sys.file_exists jpath then begin
+        match Engine.Journal.info jpath with
+        | Ok i ->
+          Printf.printf "journal: %s\n" jpath;
+          Printf.printf "  sweep identity:   %s…\n"
+            i.Engine.Journal.identity_prefix;
+          Printf.printf "  completed points: %d\n" i.Engine.Journal.marks;
+          (match i.Engine.Journal.corruption with
+          | Some d ->
+            Printf.printf "  corruption:       %s\n" (Diag.to_string d)
+          | None -> ())
+        | Error d ->
+          Printf.printf "journal: %s\n  unreadable: %s\n" jpath
+            (Diag.to_string d)
+      end;
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "info"
+       ~doc:"Summarise a result store and its sweep journal")
+    Term.(ret (const run $ store_path_arg))
+
+let store_verify_cmd =
+  let run path =
+    match Engine.Store.verify path with
+    | Error d -> `Error (false, Diag.render d)
+    | Ok r -> (
+      match r.Engine.Store.v_corruption with
+      | None ->
+        Printf.printf "%s: %d records, %d keys, %d bytes — clean\n" path
+          r.Engine.Store.v_physical_records r.Engine.Store.v_distinct_keys
+          r.Engine.Store.v_file_bytes;
+        `Ok ()
+      | Some d -> `Error (false, Diag.render d))
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Check every record's framing and checksum; exit nonzero on any \
+          corruption")
+    Term.(ret (const run $ store_path_arg))
+
+let store_gc_cmd =
+  let run path =
+    match Engine.Store.gc path with
+    | Error d -> `Error (false, Diag.render d)
+    | Ok g ->
+      Printf.printf "%s: kept %d records, dropped %d; %d -> %d bytes\n" path
+        g.Engine.Store.gc_kept g.Engine.Store.gc_dropped_records
+        g.Engine.Store.gc_bytes_before g.Engine.Store.gc_bytes_after;
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "gc"
+       ~doc:
+         "Compact a store to one record per key (atomic: a crash mid-gc \
+          leaves the original untouched)")
+    Term.(ret (const run $ store_path_arg))
+
+let store_cmd =
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:
+         "Inspect and maintain the on-disk DSE result stores written by \
+          $(b,msched dse --store)")
+    [ store_info_cmd; store_verify_cmd; store_gc_cmd ]
 
 let fuzz_cmd =
   let seed_arg =
@@ -731,8 +888,8 @@ let main =
     (Cmd.info "msched" ~version:"1.0.0" ~doc)
     [
       list_cmd; run_cmd; compare_cmd; alloc_cmd; dot_cmd; asm_cmd; vcd_cmd;
-      kernels_cmd; schedulers_cmd; sweep_cmd; dse_cmd; fuzz_cmd; table1_cmd;
-      figures_cmd;
+      kernels_cmd; schedulers_cmd; sweep_cmd; dse_cmd; store_cmd; fuzz_cmd;
+      table1_cmd; figures_cmd;
     ]
 
 let () = exit (Cmd.eval ~argv main)

@@ -10,6 +10,8 @@ type code =
   | Task_crashed
   | Task_timeout
   | Fault_injected
+  | Store_corrupt
+  | Sweep_mismatch
 
 type severity = Warning | Error
 
@@ -43,6 +45,8 @@ let code_name = function
   | Task_crashed -> "TASK_CRASHED"
   | Task_timeout -> "TASK_TIMEOUT"
   | Fault_injected -> "FAULT_INJECTED"
+  | Store_corrupt -> "STORE_CORRUPT"
+  | Sweep_mismatch -> "SWEEP_MISMATCH"
 
 let is_error t = t.severity = Error
 let with_scheduler scheduler t = { t with scheduler = Some scheduler }

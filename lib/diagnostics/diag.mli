@@ -26,6 +26,12 @@ type code =
   | Task_crashed  (** a pool task raised an unexpected exception *)
   | Task_timeout  (** a pool task exceeded its cooperative deadline *)
   | Fault_injected  (** a deterministic injected fault (Engine.Faults) *)
+  | Store_corrupt
+      (** an on-disk store record (or tail) failed its integrity check and
+          was quarantined; warnings mean the affected points recompute *)
+  | Sweep_mismatch
+      (** on-disk sweep state does not belong to the sweep being resumed
+          (different application, axes, scheduler set or schema version) *)
 
 type severity = Warning | Error
 

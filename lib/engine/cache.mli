@@ -36,4 +36,12 @@ val hits : 'a t -> int
 val misses : 'a t -> int
 
 val clear : 'a t -> unit
-(** Drop every entry and reset the counters. *)
+(** Drop every entry and reset the counters.
+
+    Interaction with a live on-disk store (see {!Store} and
+    [Report.Dse.Durable]): [clear] empties {e only} the in-memory table —
+    it never touches the store, so memory and disk cannot silently
+    diverge. A store-backed sweep replays the persisted points back into
+    the cache at the start of every run, so after a [clear] the next
+    durable sweep repopulates the cache from disk with zero
+    recomputation. *)

@@ -1,0 +1,66 @@
+(* Write-ahead sweep manifest on top of Store: the first record binds the
+   journal to one sweep identity; every later record is a completion mark
+   for one design-point key. *)
+
+let schema = 2
+let identity_key = "@sweep-identity"
+
+type t = { store : Store.t; identity : string }
+
+let short d = if String.length d <= 12 then d else String.sub d 0 12
+
+let open_ ?create ~identity path =
+  match Store.open_ ?create ~schema path with
+  | Error d -> Error d
+  | Ok store -> (
+    match Store.find store identity_key with
+    | None ->
+      (* fresh (or fully quarantined) journal: claim it for this sweep *)
+      Store.append store ~key:identity_key ~payload:identity;
+      Ok { store; identity }
+    | Some id when String.equal id identity -> Ok { store; identity }
+    | Some id ->
+      Store.close store;
+      Error
+        (Diag.v Diag.Sweep_mismatch
+           "journal %s belongs to a different sweep (identity %s…, this \
+            sweep is %s…): refusing to resume — the application, axes, \
+            scheduler set or code version changed; use a fresh --store path"
+           path (short id) (short identity)))
+
+let identity t = t.identity
+let warnings t = Store.warnings t.store
+
+let mark t key =
+  if String.equal key identity_key then
+    invalid_arg "Engine.Journal.mark: reserved key";
+  Store.append t.store ~key ~payload:""
+
+let is_marked t key =
+  (not (String.equal key identity_key)) && Store.mem t.store key
+
+let marked t =
+  Store.length t.store - (if Store.mem t.store identity_key then 1 else 0)
+
+let checkpoint t = Store.checkpoint t.store
+let close t = Store.close t.store
+
+type info = { identity_prefix : string; marks : int; corruption : Diag.t option }
+
+let info path =
+  match Store.verify path with
+  | Error d -> Error d
+  | Ok v -> (
+    match Store.contents path with
+    | Error d -> Error d
+    | Ok records ->
+      let identity_prefix =
+        match List.assoc_opt identity_key records with
+        | Some id -> short id
+        | None -> "<unclaimed>"
+      in
+      let marks =
+        List.length
+          (List.filter (fun (k, _) -> not (String.equal k identity_key)) records)
+      in
+      Ok { identity_prefix; marks; corruption = v.Store.v_corruption })

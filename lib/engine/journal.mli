@@ -1,0 +1,49 @@
+(** Write-ahead sweep journal: the proof that on-disk results belong to
+    one specific sweep, and which of its design points completed.
+
+    A journal is a {!Store} whose first record binds the file to a sweep
+    {e identity} — a digest covering the application, clustering, sweep
+    axes, scheduler set and code/schema version. Opening an existing
+    journal with a different identity is refused with a [SWEEP_MISMATCH]
+    diagnostic: resumption must never mix results from two sweeps.
+
+    Each completion {!mark} is appended {e after} the corresponding result
+    record is durably in the result store, so a marked key is guaranteed
+    to have its data on disk (a crash between the two writes merely loses
+    the mark, and the point is recomputed on resume). Marks inherit the
+    store's integrity checking: a truncated tail loses marks, never
+    corrupts them. *)
+
+type t
+
+val open_ : ?create:bool -> identity:string -> string -> (t, Diag.t) result
+(** Open or create the journal at a path, claiming a fresh journal for
+    [identity] and verifying an existing one matches it. *)
+
+val identity : t -> string
+
+val warnings : t -> Diag.t list
+(** Quarantine diagnostics from opening the underlying store. *)
+
+val mark : t -> string -> unit
+(** Durably record one design-point key as complete. Idempotent.
+    @raise Invalid_argument on the reserved identity key. *)
+
+val is_marked : t -> string -> bool
+
+val marked : t -> int
+(** Number of completion marks. *)
+
+val checkpoint : t -> unit
+(** Signal-safe fsync (see {!Store.checkpoint}). *)
+
+val close : t -> unit
+
+type info = {
+  identity_prefix : string;  (** first 12 hex chars of the identity *)
+  marks : int;
+  corruption : Diag.t option;
+}
+
+val info : string -> (info, Diag.t) result
+(** Read-only summary for [msched store info]. *)

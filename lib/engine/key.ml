@@ -1,4 +1,19 @@
-let digest_value v = Digest.to_hex (Digest.string (Marshal.to_string v []))
+let digest_value_result v =
+  match Marshal.to_string v [] with
+  | repr -> Ok (Digest.to_hex (Digest.string repr))
+  | exception Invalid_argument msg ->
+    (* closures, abstract blocks, custom values without serialisers:
+       surface a structured diagnostic instead of letting Invalid_argument
+       escape from deep inside a worker *)
+    Error
+      (Diag.v Diag.Invalid_app
+         "value is not content-addressable (%s): keys must be pure data"
+         msg)
+
+let digest_value v =
+  match digest_value_result v with
+  | Ok d -> d
+  | Error d -> invalid_arg ("Engine.Key.digest_value: " ^ Diag.to_string d)
 
 let combine parts =
   Digest.to_hex

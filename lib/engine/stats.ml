@@ -20,11 +20,14 @@ type t = {
   table : (string, acc) Hashtbl.t;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable store_replayed : int;
+  mutable store_quarantined : int;
 }
 
 let create () =
   { mutex = Mutex.create (); table = Hashtbl.create 8;
-    cache_hits = 0; cache_misses = 0 }
+    cache_hits = 0; cache_misses = 0;
+    store_replayed = 0; store_quarantined = 0 }
 
 let with_lock t f =
   Mutex.lock t.mutex;
@@ -68,6 +71,11 @@ let note_cache t ~hits ~misses =
       t.cache_hits <- t.cache_hits + hits;
       t.cache_misses <- t.cache_misses + misses)
 
+let note_store t ~replayed ~quarantined =
+  with_lock t (fun () ->
+      t.store_replayed <- t.store_replayed + replayed;
+      t.store_quarantined <- t.store_quarantined + quarantined)
+
 let entries t =
   with_lock t (fun () ->
       Hashtbl.fold
@@ -84,6 +92,8 @@ let tasks_run t =
 
 let cache_hits t = with_lock t (fun () -> t.cache_hits)
 let cache_misses t = with_lock t (fun () -> t.cache_misses)
+let store_replayed t = with_lock t (fun () -> t.store_replayed)
+let store_quarantined t = with_lock t (fun () -> t.store_quarantined)
 
 let total_wall t =
   List.fold_left (fun s (e : entry) -> s +. e.wall) 0. (entries t)
@@ -108,4 +118,7 @@ let pp ppf t =
   if h + m > 0 then
     Format.fprintf ppf "; cache: %d hits / %d misses (%.0f%% hit rate)" h m
       (100. *. float_of_int h /. float_of_int (h + m));
+  let r = store_replayed t and q = store_quarantined t in
+  if r + q > 0 then
+    Format.fprintf ppf "; store: %d replayed / %d quarantined" r q;
   Format.fprintf ppf "@]"

@@ -29,12 +29,19 @@ val record : t -> label:string -> wall:float -> cpu:float -> unit
 val note_cache : t -> hits:int -> misses:int -> unit
 (** Accumulate cache counters observed by one sweep. *)
 
+val note_store : t -> replayed:int -> quarantined:int -> unit
+(** Accumulate on-disk store counters observed by one sweep: points
+    rehydrated from the result store into the memo cache, and records
+    quarantined (corrupt, truncated, or failing re-validation). *)
+
 val entries : t -> entry list
 (** Sorted by label. *)
 
 val tasks_run : t -> int
 val cache_hits : t -> int
 val cache_misses : t -> int
+val store_replayed : t -> int
+val store_quarantined : t -> int
 val total_wall : t -> float
 
 val pp : Format.formatter -> t -> unit

@@ -47,7 +47,10 @@ let point_of_schedule config ~fb ~cm ~setup ~scheduler = function
    [~scheduler] to {!evaluate}. *)
 let schedulers = [ "basic"; "ds"; "cds" ]
 
-let evaluate ?ctx ~fb ~cm ~setup ~scheduler app clustering =
+(* The point plus the schedule that produced it: what the durable store
+   persists, so a rehydrated feasible point can be re-validated against
+   the semantic checker before it is trusted. *)
+let evaluate_full ?ctx ~fb ~cm ~setup ~scheduler app clustering =
   let config =
     Morphosys.Config.make ~fb_set_size:fb ~cm_capacity:cm
       ~dma_setup_cycles:setup ()
@@ -57,8 +60,11 @@ let evaluate ?ctx ~fb ~cm ~setup ~scheduler app clustering =
     | Some c -> c
     | None -> Sched.Sched_ctx.make app clustering
   in
-  point_of_schedule config ~fb ~cm ~setup ~scheduler
-    (Sched.Scheduler_registry.run scheduler ctx config)
+  let r = Sched.Scheduler_registry.run scheduler ctx config in
+  (point_of_schedule config ~fb ~cm ~setup ~scheduler r, Result.to_option r)
+
+let evaluate ?ctx ~fb ~cm ~setup ~scheduler app clustering =
+  fst (evaluate_full ?ctx ~fb ~cm ~setup ~scheduler app clustering)
 
 let point_key ~app_digest (fb, cm, setup, scheduler) =
   Engine.Key.combine
@@ -79,7 +85,209 @@ let settle ~combo = function
     let fb, cm, setup, scheduler = combo in
     infeasible ~fb ~cm ~setup ~scheduler d
 
-let sweep ?(jobs = 1) ?deadline_s ?retries ?cache ?stats
+(* -- durable persistence ------------------------------------------------- *)
+
+(* What one store record deserialises to. Bump [Durable.schema_version]
+   whenever this type (or anything reachable from it) changes shape. *)
+type stored = {
+  stored_point : point;
+  stored_schedule : Sched.Schedule.t option;  (* [Some] iff feasible *)
+}
+
+module Durable = struct
+  let schema_version = 1
+
+  type t = {
+    path : string;
+    identity : string;
+    store : Engine.Store.t;
+    journal : Engine.Journal.t;
+    cache : point Engine.Cache.t;  (* default cache when the caller has none *)
+    mutex : Mutex.t;
+    trusted : (string, point) Hashtbl.t;
+        (* journaled + integrity-checked + re-validated points, grown as
+           the live sweep persists new ones *)
+    mutable run_warnings : Diag.t list;  (* rehydration/persist diags, rev *)
+    mutable quarantined : int;
+    mutable stats_noted : bool;
+  }
+
+  let with_lock t f =
+    Mutex.lock t.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+  let path t = t.path
+  let identity t = t.identity
+  let completed t = Engine.Journal.marked t.journal
+  let cache t = t.cache
+
+  let warnings t =
+    Engine.Store.warnings t.store
+    @ Engine.Journal.warnings t.journal
+    @ List.rev t.run_warnings
+
+  (* The sweep identity: everything the on-disk state is a function of.
+     Axis values and scheduler names are tagged so reshuffling words
+     between axes cannot collide. *)
+  let identity_of ?(cm_list = [ 2048 ]) ?(setup_list = [ 0 ]) ~fb_list app
+      clustering =
+    Result.map
+      (fun app_digest ->
+        Engine.Key.combine
+          ((app_digest :: Printf.sprintf "schema:%d" schema_version
+            :: Printf.sprintf "format:%d" Engine.Store.format_version
+            :: List.map (Printf.sprintf "fb:%d") fb_list)
+          @ List.map (Printf.sprintf "cm:%d") cm_list
+          @ List.map (Printf.sprintf "setup:%d") setup_list
+          @ List.map (Printf.sprintf "sched:%s") schedulers))
+      (Engine.Key.digest_value_result (app, clustering))
+
+  let quarantine t d =
+    t.run_warnings <- d :: t.run_warnings;
+    t.quarantined <- t.quarantined + 1
+
+  let short key = if String.length key <= 12 then key else String.sub key 0 12
+
+  (* Replay the store: only records that are journaled complete, that
+     deserialise, and whose feasible schedules still satisfy the semantic
+     validator are trusted; everything else is quarantined (superseded on
+     disk once the point is recomputed and re-persisted). *)
+  let rehydrate t =
+    Engine.Store.iter
+      (fun ~key ~payload ->
+        if Engine.Journal.is_marked t.journal key then
+          match (Marshal.from_string payload 0 : stored) with
+          | exception _ ->
+            quarantine t
+              (Diag.v ~severity:Diag.Warning Diag.Store_corrupt
+                 "store %s: record %s… does not deserialise (schema drift?); \
+                  quarantined — the point will be recomputed"
+                 t.path (short key))
+          | { stored_point = p; stored_schedule } -> (
+            if not p.feasible then Hashtbl.replace t.trusted key p
+            else
+              match stored_schedule with
+              | None ->
+                quarantine t
+                  (Diag.v ~severity:Diag.Warning Diag.Store_corrupt
+                     "store %s: feasible point %s… has no schedule to \
+                      re-validate; quarantined — the point will be recomputed"
+                     t.path (short key))
+              | Some s -> (
+                match Msim.Validate.check_result s with
+                | Ok () -> Hashtbl.replace t.trusted key p
+                | Error d ->
+                  quarantine t
+                    (Diag.v ~severity:Diag.Warning Diag.Store_corrupt
+                       "store %s: rehydrated schedule %s… failed semantic \
+                        validation (%s); quarantined — the point will be \
+                        recomputed"
+                       t.path (short key) (Diag.to_string d)))))
+      t.store
+
+  let open_ ?(resume = false) ~path ?cm_list ?setup_list ~fb_list app
+      clustering =
+    match identity_of ?cm_list ?setup_list ~fb_list app clustering with
+    | Error d -> Error d
+    | Ok identity ->
+      if
+        (not resume) && Sys.file_exists path
+        && (Unix.stat path).Unix.st_size > 0
+      then
+        Error
+          (Diag.v Diag.Sweep_mismatch
+             "store %s already exists; pass --resume to continue that sweep, \
+              or point --store at a fresh path"
+             path)
+      else (
+        match Engine.Store.open_ ~schema:schema_version path with
+        | Error d -> Error d
+        | Ok store -> (
+          match
+            Engine.Journal.open_ ~identity (path ^ ".journal")
+          with
+          | Error d ->
+            Engine.Store.close store;
+            Error d
+          | Ok journal ->
+            let t =
+              {
+                path;
+                identity;
+                store;
+                journal;
+                cache = Engine.Cache.create ();
+                mutex = Mutex.create ();
+                trusted = Hashtbl.create 256;
+                run_warnings = [];
+                quarantined = 0;
+                stats_noted = false;
+              }
+            in
+            rehydrate t;
+            Ok t))
+
+  (* Called from inside pool tasks (any worker domain): a persistence
+     failure degrades durability, never the sweep — the point is still
+     returned in memory, with a warning recorded. *)
+  let persist t ~key stored_v =
+    match Marshal.to_string stored_v [] with
+    | exception Invalid_argument msg ->
+      with_lock t (fun () ->
+          quarantine t
+            (Diag.v ~severity:Diag.Warning Diag.Store_corrupt
+               "point %s… is not serialisable (%s); continuing without \
+                persisting it"
+               (short key) msg))
+    | payload -> (
+      match
+        Engine.Store.append t.store ~key ~payload;
+        Engine.Journal.mark t.journal key
+      with
+      | () ->
+        with_lock t (fun () ->
+            Hashtbl.replace t.trusted key stored_v.stored_point)
+      | exception e ->
+        with_lock t (fun () ->
+            quarantine t
+              (Diag.v ~severity:Diag.Warning Diag.Store_corrupt
+                 "failed to persist point %s… (%s); continuing without it"
+                 (short key) (Printexc.to_string e))))
+
+  (* Refill a (possibly just-cleared) memo cache from the trusted on-disk
+     points; returns how many entries the replay actually added. *)
+  let replay t cache =
+    let snapshot =
+      with_lock t (fun () ->
+          Hashtbl.fold (fun k p acc -> (k, p) :: acc) t.trusted [])
+    in
+    let before = Engine.Cache.length cache in
+    List.iter (fun (k, p) -> Engine.Cache.add cache k p) snapshot;
+    Engine.Cache.length cache - before
+
+  let note_stats t st ~replayed =
+    let quarantined =
+      if t.stats_noted then 0
+      else begin
+        t.stats_noted <- true;
+        List.length
+          (List.filter
+             (fun d -> d.Diag.code = Diag.Store_corrupt)
+             (warnings t))
+      end
+    in
+    Engine.Stats.note_store st ~replayed ~quarantined
+
+  let checkpoint t =
+    Engine.Store.checkpoint t.store;
+    Engine.Journal.checkpoint t.journal
+
+  let close t =
+    Engine.Store.close t.store;
+    Engine.Journal.close t.journal
+end
+
+let sweep ?(jobs = 1) ?deadline_s ?retries ?cache ?stats ?store
     ?(cm_list = [ 2048 ]) ?(setup_list = [ 0 ]) ~fb_list app clustering =
   let combos =
     List.concat_map
@@ -97,12 +305,44 @@ let sweep ?(jobs = 1) ?deadline_s ?retries ?cache ?stats
   (* One immutable analysis context shared by every design point — and,
      under [~jobs > 1], by every worker domain. *)
   let ctx = Sched.Sched_ctx.make app clustering in
-  let eval (fb, cm, setup, scheduler) =
-    let work () = evaluate ~ctx ~fb ~cm ~setup ~scheduler app clustering in
-    match stats with
-    | None -> work ()
-    | Some st -> Engine.Stats.time st ~label:scheduler work
+  (* [persist] (per-combo) makes the point durable the moment its task
+     completes on whatever worker domain ran it. *)
+  let eval ?persist (fb, cm, setup, scheduler) =
+    let work () =
+      evaluate_full ~ctx ~fb ~cm ~setup ~scheduler app clustering
+    in
+    let p, schedule =
+      match stats with
+      | None -> work ()
+      | Some st -> Engine.Stats.time st ~label:scheduler work
+    in
+    (match persist with Some f -> f p schedule | None -> ());
+    p
   in
+  (* A store implies a cache: the replayed points land in the caller's
+     cache, or in the store's own when the caller brought none. *)
+  let cache =
+    match (cache, store) with
+    | (Some _ as c), _ -> c
+    | None, Some d -> Some (Durable.cache d)
+    | None, None -> None
+  in
+  (match store with
+  | None -> ()
+  | Some d ->
+    (* resuming a store that belongs to a different sweep would silently
+       mix results; the CLI can never get here (Durable.open_ already
+       refused), so a mismatch is a programmer error *)
+    (match Durable.identity_of ~cm_list ~setup_list ~fb_list app clustering with
+    | Ok id when String.equal id (Durable.identity d) -> ()
+    | Ok _ | Error _ ->
+      invalid_arg
+        "Report.Dse.sweep: ~store was opened for a different sweep \
+         (application, clustering or axes mismatch)");
+    let replayed = Durable.replay d (Option.get cache) in
+    match stats with
+    | Some st -> Durable.note_stats d st ~replayed
+    | None -> ());
   match cache with
   | None ->
     let slots =
@@ -115,7 +355,24 @@ let sweep ?(jobs = 1) ?deadline_s ?retries ?cache ?stats
        clustering and every machine parameter, so a hit is exact. Misses
        are deduped and scheduled once each; results land back in combo
        order, keeping the output byte-identical to the sequential path. *)
-    let app_digest = Engine.Key.digest_value (app, clustering) in
+    let app_digest =
+      match Engine.Key.digest_value_result (app, clustering) with
+      | Ok d -> Some d
+      | Error d ->
+        (* unmarshalable application: with a store this is unreachable
+           (Durable.open_ would have refused); with a plain cache, degrade
+           to the uncached path instead of crashing a worker *)
+        if store <> None then invalid_arg (Diag.to_string d);
+        None
+    in
+    match app_digest with
+    | None ->
+      let slots =
+        Engine.Pool.run_results ~jobs ?deadline_s ?retries
+          (Array.of_list (List.map (fun c () -> eval c) combos))
+      in
+      List.mapi (fun i combo -> settle ~combo slots.(i)) combos
+    | Some app_digest ->
     let lookups =
       List.map
         (fun c ->
@@ -135,8 +392,17 @@ let sweep ?(jobs = 1) ?deadline_s ?retries ?cache ?stats
         lookups
     in
     let computed =
+      let task (c, key) () =
+        match store with
+        | None -> eval c
+        | Some d ->
+          eval c
+            ~persist:(fun p schedule ->
+              Durable.persist d ~key
+                { stored_point = p; stored_schedule = schedule })
+      in
       Engine.Pool.run_results ~jobs ?deadline_s ?retries
-        (Array.of_list (List.map (fun (c, _) () -> eval c) missing))
+        (Array.of_list (List.map task missing))
     in
     let fresh = Hashtbl.create 16 in
     List.iteri
@@ -177,6 +443,26 @@ let to_csv points =
            (opt_str string_of_int p.context_words)))
     points;
   Buffer.contents buf
+
+(* The sweep-level failure mode `msched dse` must not swallow: a run in
+   which nothing was feasible has produced no sizing information at all. *)
+let all_infeasible_diag points =
+  match points with
+  | [] ->
+    Some
+      (Diag.v Diag.Invalid_config
+         "dse: empty sweep — no design points were evaluated (check the \
+          axis lists)")
+  | _ when List.exists (fun p -> p.feasible) points -> None
+  | p :: _ ->
+    Some
+      (Diag.v Diag.Invalid_config
+         "dse: all %d design points are infeasible — no machine sizing \
+          satisfies this application (first diagnostic: %s)"
+         (List.length points)
+         (match p.diag with
+         | Some d -> Diag.to_string d
+         | None -> "none recorded"))
 
 let best points =
   List.fold_left

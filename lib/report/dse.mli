@@ -41,12 +41,74 @@ val evaluate :
     scheduling context (it must belong to the given application and
     clustering). *)
 
+(** Durable sweep state: an on-disk, crash-recoverable record of a
+    sweep's completed design points.
+
+    A [Durable.t] pairs an {!Engine.Store} of per-point results with an
+    {!Engine.Journal} of completion marks (write-ahead: a point is
+    journalled only after its result record is on disk, so a marked
+    point is always recoverable). Opening with [~resume:true] replays
+    whatever survived a crash; each rehydrated feasible point is
+    re-validated against the simulator
+    ([Msim.Validate.check_result]) and quarantined — recomputed, with a
+    [STORE_CORRUPT] warning — if it no longer checks out. *)
+module Durable : sig
+  type t
+
+  val schema_version : int
+  (** Version of the marshalled point payload; part of the sweep
+      identity, so a payload-format change refuses to resume old
+      stores instead of misreading them. *)
+
+  val open_ :
+    ?resume:bool ->
+    path:string ->
+    ?cm_list:int list ->
+    ?setup_list:int list ->
+    fb_list:int list ->
+    Kernel_ir.Application.t ->
+    Kernel_ir.Cluster.clustering ->
+    (t, Diag.t) result
+  (** Open (or create) the store at [path] and its journal at
+      [path ^ ".journal"] for the sweep identified by the given
+      application, clustering and axis lists.
+
+      Without [~resume] (the default) an existing non-empty [path] is
+      refused with a [SWEEP_MISMATCH] diagnostic — overwriting a
+      previous run must be asked for. With [~resume:true] the files are
+      opened, their recorded sweep identity is checked against the
+      requested one (mismatch: [SWEEP_MISMATCH]), and surviving points
+      are rehydrated. Corruption anywhere — a torn tail, a failed
+      checksum, a point that fails re-validation — is quarantined and
+      reported via {!warnings}, never fatal. *)
+
+  val path : t -> string
+  val identity : t -> string
+  (** Hex digest of (application, clustering, axes, scheduler set,
+      payload schema, store format) — what {!open_} checks on resume. *)
+
+  val completed : t -> int
+  (** Number of journalled-complete design points. *)
+
+  val warnings : t -> Diag.t list
+  (** Quarantine and recovery warnings accumulated since {!open_}:
+      store-level corruption, rehydration failures, persist failures. *)
+
+  val checkpoint : t -> unit
+  (** Fsync both files. Async-signal-tolerant: takes no locks, so it is
+      safe to call from a SIGINT/SIGTERM handler while workers are
+      mid-append. *)
+
+  val close : t -> unit
+end
+
 val sweep :
   ?jobs:int ->
   ?deadline_s:float ->
   ?retries:int ->
   ?cache:point Engine.Cache.t ->
   ?stats:Engine.Stats.t ->
+  ?store:Durable.t ->
   ?cm_list:int list ->
   ?setup_list:int list ->
   fb_list:int list ->
@@ -63,14 +125,30 @@ val sweep :
     design points repeated across sweeps are scheduled once. [~stats]
     accumulates per-scheduler timing and cache counters.
 
+    [~store] makes the sweep durable: previously persisted points are
+    replayed into the cache before any scheduling happens (so a resumed
+    sweep recomputes nothing that was journalled complete), and each
+    newly computed point is persisted as it finishes — not at the end —
+    so a crash loses at most the points in flight. The store's sweep
+    identity must match the requested axes and application
+    (@raise Invalid_argument otherwise — open the store with
+    {!Durable.open_} on the same arguments you pass here). A resumed
+    sweep returns a point list byte-identical to an uninterrupted run.
+    [~store] implies an in-memory cache even if [~cache] is not given.
+
     The sweep is fault-isolated: a design-point task that crashes (or
     exceeds [~deadline_s], or exhausts its [~retries] against injected
     faults) becomes an infeasible point carrying the failure in [diag];
     every other point is still computed and returned. Crashed points are
-    never written to the cache. An {!Engine.Faults} fault injected into a
-    cache lookup degrades that lookup to a miss. *)
+    never written to the cache or the store. An {!Engine.Faults} fault
+    injected into a cache lookup degrades that lookup to a miss. *)
 
 val to_csv : point list -> string
+
+val all_infeasible_diag : point list -> Diag.t option
+(** [Some diag] when the sweep produced no feasible point at all (or no
+    points) — the condition under which [msched dse] exits nonzero.
+    [None] as soon as one point is feasible. *)
 
 val best : point list -> point option
 (** The feasible point with the fewest cycles (ties: smaller frame

@@ -51,6 +51,8 @@ let test_diag_basics () =
       (Diag.Task_crashed, "TASK_CRASHED");
       (Diag.Task_timeout, "TASK_TIMEOUT");
       (Diag.Fault_injected, "FAULT_INJECTED");
+      (Diag.Store_corrupt, "STORE_CORRUPT");
+      (Diag.Sweep_mismatch, "SWEEP_MISMATCH");
     ]
 
 let test_of_exn () =

@@ -198,6 +198,67 @@ let test_run_results_deadline () =
   (* outside a pool task, checkpoint is a no-op *)
   Engine.Pool.checkpoint ()
 
+let test_deadline_sequential () =
+  (* the cooperative deadline must also fire on the jobs=1 in-caller
+     path, not only across worker domains *)
+  let slots =
+    Engine.Pool.run_results ~jobs:1 ~deadline_s:0.02
+      [|
+        (fun () ->
+          let rec spin () =
+            Engine.Pool.checkpoint ();
+            Unix.sleepf 0.005;
+            spin ()
+          in
+          spin ());
+        (fun () -> 42);
+      |]
+  in
+  (match slots.(0) with
+  | Error d ->
+    Alcotest.(check string) "sequential timeout code" "TASK_TIMEOUT"
+      (Diag.code_name d.Diag.code)
+  | Ok _ -> Alcotest.fail "expected a sequential deadline kill");
+  match slots.(1) with
+  | Ok v -> Alcotest.(check int) "later task still runs" 42 v
+  | Error d -> Alcotest.failf "later task failed: %s" (Diag.render d)
+
+let test_digest_guard () =
+  (* pure data digests with both entry points *)
+  let v = (1, [ "a" ], 2.5) in
+  (match Engine.Key.digest_value_result v with
+  | Ok d ->
+    Alcotest.(check string) "result form agrees with the raising form" d
+      (Engine.Key.digest_value v)
+  | Error d -> Alcotest.failf "pure data refused: %s" (Diag.render d));
+  (* a closure is not content-addressable: structured diag, not a crash *)
+  let closure = fun x -> x + 1 in
+  (match Engine.Key.digest_value_result closure with
+  | Ok _ -> Alcotest.fail "closures must not digest"
+  | Error d ->
+    Alcotest.(check string) "INVALID_APP" "INVALID_APP"
+      (Diag.code_name d.Diag.code);
+    Alcotest.(check bool) "explains the contract" true
+      (Astring_contains.contains (Diag.to_string d) "content-addressable"));
+  match Engine.Key.digest_value closure with
+  | (_ : string) -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool) "raising form names itself" true
+      (Astring_contains.contains msg "digest_value")
+
+let test_stats_store_counters () =
+  let st = Engine.Stats.create () in
+  Alcotest.(check int) "fresh replayed" 0 (Engine.Stats.store_replayed st);
+  Engine.Stats.note_store st ~replayed:5 ~quarantined:1;
+  Engine.Stats.note_store st ~replayed:2 ~quarantined:0;
+  Alcotest.(check int) "replayed accumulates" 7
+    (Engine.Stats.store_replayed st);
+  Alcotest.(check int) "quarantined accumulates" 1
+    (Engine.Stats.store_quarantined st);
+  let rendered = Format.asprintf "%a" Engine.Stats.pp st in
+  Alcotest.(check bool) "pp mentions the store" true
+    (Astring_contains.contains rendered "store: 7 replayed / 1 quarantined")
+
 let test_fault_injection () =
   (* rate 1.0: every pool visit fires; without retries every slot is an
      absorbed Fault_injected diagnostic, never an uncaught exception *)
@@ -301,6 +362,11 @@ let tests =
         test_run_results_isolation;
       Alcotest.test_case "run_results deadline" `Quick
         test_run_results_deadline;
+      Alcotest.test_case "deadline at jobs=1" `Quick test_deadline_sequential;
+      Alcotest.test_case "digest guard on unmarshalable values" `Quick
+        test_digest_guard;
+      Alcotest.test_case "stats store counters" `Quick
+        test_stats_store_counters;
       Alcotest.test_case "fault injection" `Quick test_fault_injection;
       Alcotest.test_case "fault retries" `Quick test_fault_retries;
       Alcotest.test_case "cache basics" `Quick test_cache_basics;

@@ -28,7 +28,9 @@ let () =
       Test_vcd.tests;
       Test_dse.tests;
       Test_engine.tests;
+      Test_store.tests;
       Test_dse_parallel.tests;
+      Test_dse_resume.tests;
       Test_fuzz_oracle.tests;
       Test_analysis.tests;
       Test_misc_coverage.tests;

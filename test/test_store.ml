@@ -1,0 +1,293 @@
+(* The durable result store and write-ahead journal: framing, checksums,
+   quarantine-instead-of-fail on every flavour of corruption, atomic gc,
+   and the journal's sweep-identity protocol. *)
+
+module Store = Engine.Store
+module Journal = Engine.Journal
+
+let contains = Astring_contains.contains
+
+let tmp_path () =
+  let path = Filename.temp_file "msched_store" ".bin" in
+  Sys.remove path;
+  path
+
+let cleanup path =
+  List.iter
+    (fun p -> if Sys.file_exists p then Sys.remove p)
+    [ path; path ^ ".quarantine"; path ^ ".journal";
+      path ^ ".journal.quarantine" ]
+
+let with_store ?(schema = 7) f =
+  let path = tmp_path () in
+  Fun.protect ~finally:(fun () -> cleanup path) @@ fun () ->
+  match Store.open_ ~schema path with
+  | Error d -> Alcotest.failf "open failed: %s" (Diag.render d)
+  | Ok t -> f path t
+
+let reopen ?(schema = 7) path =
+  match Store.open_ ~schema path with
+  | Error d -> Alcotest.failf "reopen failed: %s" (Diag.render d)
+  | Ok t -> t
+
+let file_size path = (Unix.stat path).Unix.st_size
+
+let test_roundtrip () =
+  with_store @@ fun path t ->
+  Alcotest.(check int) "fresh store is empty" 0 (Store.length t);
+  Store.append t ~key:"alpha" ~payload:"one";
+  Store.append t ~key:"beta" ~payload:"two";
+  Store.append t ~key:"gamma" ~payload:(String.make 4096 'x');
+  Alcotest.(check int) "three keys" 3 (Store.length t);
+  Alcotest.(check (option string)) "find" (Some "two") (Store.find t "beta");
+  Alcotest.(check bool) "mem" true (Store.mem t "alpha");
+  Alcotest.(check bool) "absent key" false (Store.mem t "delta");
+  Store.close t;
+  let t = reopen path in
+  Alcotest.(check int) "reopen sees three keys" 3 (Store.length t);
+  Alcotest.(check (option string)) "large payload survives"
+    (Some (String.make 4096 'x'))
+    (Store.find t "gamma");
+  Alcotest.(check int) "clean reopen has no warnings" 0
+    (List.length (Store.warnings t));
+  (* iteration is in first-seen key order *)
+  let keys = ref [] in
+  Store.iter (fun ~key ~payload:_ -> keys := key :: !keys) t;
+  Alcotest.(check (list string)) "first-seen order"
+    [ "alpha"; "beta"; "gamma" ] (List.rev !keys);
+  Store.close t
+
+let test_last_record_wins () =
+  with_store @@ fun path t ->
+  Store.append t ~key:"k" ~payload:"v1";
+  Store.append t ~key:"other" ~payload:"o";
+  Store.append t ~key:"k" ~payload:"v2";
+  Alcotest.(check (option string)) "live value is the latest" (Some "v2")
+    (Store.find t "k");
+  Alcotest.(check int) "superseding does not add a key" 2 (Store.length t);
+  Store.close t;
+  let t = reopen path in
+  Alcotest.(check (option string)) "latest survives reopen" (Some "v2")
+    (Store.find t "k");
+  (* superseding keeps the key's first-seen position *)
+  let keys = ref [] in
+  Store.iter (fun ~key ~payload:_ -> keys := key :: !keys) t;
+  Alcotest.(check (list string)) "order is first-seen" [ "k"; "other" ]
+    (List.rev !keys);
+  Store.close t
+
+let test_identical_append_is_noop () =
+  with_store @@ fun path t ->
+  Store.append t ~key:"k" ~payload:"same";
+  Store.checkpoint t;
+  let size = file_size path in
+  Store.append t ~key:"k" ~payload:"same";
+  Store.append t ~key:"k" ~payload:"same";
+  Alcotest.(check int) "re-appending the live payload does not grow the file"
+    size (file_size path);
+  Store.close t
+
+let test_truncated_tail_quarantined () =
+  with_store @@ fun path t ->
+  Store.append t ~key:"good" ~payload:"kept";
+  Store.append t ~key:"torn" ~payload:(String.make 256 'y');
+  Store.close t;
+  let full = file_size path in
+  (* SIGKILL mid-write: the last record loses its checksum trailer *)
+  Unix.truncate path (full - 13);
+  let t = reopen path in
+  let warnings = Store.warnings t in
+  Alcotest.(check int) "one quarantine warning" 1 (List.length warnings);
+  let w = List.hd warnings in
+  Alcotest.(check bool) "STORE_CORRUPT code" true
+    (w.Diag.code = Diag.Store_corrupt);
+  Alcotest.(check bool) "quarantine is a warning, not an error" false
+    (Diag.is_error w);
+  Alcotest.(check bool) "quarantine sidecar written" true
+    (Sys.file_exists (path ^ ".quarantine"));
+  Alcotest.(check (option string)) "intact prefix survives" (Some "kept")
+    (Store.find t "good");
+  Alcotest.(check bool) "torn record is gone" false (Store.mem t "torn");
+  (* the store is fully usable after quarantine: recompute and re-append *)
+  Store.append t ~key:"torn" ~payload:"recomputed";
+  Store.close t;
+  let t = reopen path in
+  Alcotest.(check int) "clean after repair" 0 (List.length (Store.warnings t));
+  Alcotest.(check (option string)) "repaired value" (Some "recomputed")
+    (Store.find t "torn");
+  Store.close t
+
+let test_bitflip_quarantined () =
+  with_store @@ fun path t ->
+  Store.append t ~key:"first" ~payload:"aaaa";
+  let boundary = file_size path in
+  Store.append t ~key:"second" ~payload:"bbbb";
+  Store.close t;
+  (* flip one payload byte inside the second record: its MD5 must catch it *)
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+  ignore (Unix.lseek fd (boundary + 8 + 6 + 1) Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.of_string "Z") 0 1);
+  Unix.close fd;
+  let t = reopen path in
+  Alcotest.(check int) "bit flip detected" 1 (List.length (Store.warnings t));
+  Alcotest.(check (option string)) "records before the flip survive"
+    (Some "aaaa") (Store.find t "first");
+  Alcotest.(check bool) "flipped record quarantined" false
+    (Store.mem t "second");
+  Store.close t
+
+let test_header_damage_is_fatal () =
+  (* a destroyed header means nothing in the file can be trusted *)
+  let path = tmp_path () in
+  Fun.protect ~finally:(fun () -> cleanup path) @@ fun () ->
+  let oc = open_out_bin path in
+  output_string oc "NOT-A-MSCHED-STORE at all, just bytes";
+  close_out oc;
+  (match Store.open_ ~schema:7 path with
+  | Ok _ -> Alcotest.fail "bad magic must not open"
+  | Error d ->
+    Alcotest.(check bool) "hard error" true (Diag.is_error d);
+    Alcotest.(check bool) "STORE_CORRUPT" true
+      (d.Diag.code = Diag.Store_corrupt));
+  (* schema mismatch: the file is healthy but belongs to someone else *)
+  Sys.remove path;
+  (match Store.open_ ~schema:7 path with
+  | Ok t -> Store.close t
+  | Error d -> Alcotest.failf "create failed: %s" (Diag.render d));
+  match Store.open_ ~schema:8 path with
+  | Ok _ -> Alcotest.fail "schema mismatch must not open"
+  | Error d ->
+    Alcotest.(check bool) "SWEEP_MISMATCH" true
+      (d.Diag.code = Diag.Sweep_mismatch)
+
+let test_verify_and_gc () =
+  with_store @@ fun path t ->
+  Store.append t ~key:"k1" ~payload:"v1";
+  Store.append t ~key:"k2" ~payload:"v2";
+  Store.append t ~key:"k1" ~payload:"v1-new";
+  Store.close t;
+  (match Store.verify path with
+  | Error d -> Alcotest.failf "verify failed: %s" (Diag.render d)
+  | Ok r ->
+    Alcotest.(check int) "physical records include the superseded one" 3
+      r.Store.v_physical_records;
+    Alcotest.(check int) "two distinct keys" 2 r.Store.v_distinct_keys;
+    Alcotest.(check int) "whole file intact" r.Store.v_file_bytes
+      r.Store.v_intact_bytes;
+    Alcotest.(check bool) "no corruption" true (r.Store.v_corruption = None));
+  let before = file_size path in
+  (match Store.gc path with
+  | Error d -> Alcotest.failf "gc failed: %s" (Diag.render d)
+  | Ok g ->
+    Alcotest.(check int) "gc keeps the live records" 2 g.Store.gc_kept;
+    Alcotest.(check int) "gc drops the superseded record" 1
+      g.Store.gc_dropped_records;
+    Alcotest.(check int) "byte accounting" before g.Store.gc_bytes_before;
+    Alcotest.(check bool) "compaction shrank the file" true
+      (g.Store.gc_bytes_after < before));
+  let t = reopen path in
+  Alcotest.(check (option string)) "gc kept the live value" (Some "v1-new")
+    (Store.find t "k1");
+  Alcotest.(check (option string)) "gc kept the other key" (Some "v2")
+    (Store.find t "k2");
+  Store.close t
+
+let test_contents_readonly () =
+  with_store @@ fun path t ->
+  Store.append t ~key:"a" ~payload:"1";
+  Store.append t ~key:"b" ~payload:"2";
+  Store.close t;
+  match Store.contents path with
+  | Error d -> Alcotest.failf "contents failed: %s" (Diag.render d)
+  | Ok kvs ->
+    Alcotest.(check (list (pair string string)))
+      "live records in order"
+      [ ("a", "1"); ("b", "2") ]
+      kvs
+
+(* -- journal ------------------------------------------------------------- *)
+
+let with_journal ~identity f =
+  let path = tmp_path () in
+  Fun.protect ~finally:(fun () -> cleanup path) @@ fun () ->
+  match Journal.open_ ~identity path with
+  | Error d -> Alcotest.failf "journal open failed: %s" (Diag.render d)
+  | Ok j -> f path j
+
+let test_journal_identity () =
+  with_journal ~identity:"cafe0123456789abcafe0123456789ab" @@ fun path j ->
+  Alcotest.(check string) "fresh journal claims the identity"
+    "cafe0123456789abcafe0123456789ab" (Journal.identity j);
+  Alcotest.(check int) "no marks yet" 0 (Journal.marked j);
+  Journal.mark j "point-1";
+  Journal.mark j "point-2";
+  Journal.mark j "point-1";
+  Alcotest.(check int) "marks are idempotent" 2 (Journal.marked j);
+  Alcotest.(check bool) "is_marked" true (Journal.is_marked j "point-1");
+  Alcotest.(check bool) "unmarked key" false (Journal.is_marked j "point-3");
+  Alcotest.check_raises "the identity key is reserved"
+    (Invalid_argument "Engine.Journal.mark: reserved key") (fun () ->
+      Journal.mark j "@sweep-identity");
+  Journal.close j;
+  (* same identity resumes; a different identity is refused *)
+  (match Journal.open_ ~identity:"cafe0123456789abcafe0123456789ab" path with
+  | Error d -> Alcotest.failf "matching resume failed: %s" (Diag.render d)
+  | Ok j ->
+    Alcotest.(check int) "marks survive reopen" 2 (Journal.marked j);
+    Journal.close j);
+  (match Journal.open_ ~identity:"deadbeefdeadbeefdeadbeefdeadbeef" path with
+  | Ok _ -> Alcotest.fail "mismatched identity must be refused"
+  | Error d ->
+    Alcotest.(check bool) "SWEEP_MISMATCH" true
+      (d.Diag.code = Diag.Sweep_mismatch);
+    Alcotest.(check bool) "message names the claimed identity" true
+      (contains (Diag.render d) "cafe01234567"));
+  (* the read-only summary agrees *)
+  match Journal.info path with
+  | Error d -> Alcotest.failf "info failed: %s" (Diag.render d)
+  | Ok i ->
+    Alcotest.(check string) "identity prefix" "cafe01234567"
+      i.Journal.identity_prefix;
+    Alcotest.(check int) "info counts the marks" 2 i.Journal.marks;
+    Alcotest.(check bool) "no corruption" true (i.Journal.corruption = None)
+
+let test_journal_truncation_loses_marks_only () =
+  with_journal ~identity:"cafe0123456789abcafe0123456789ab" @@ fun path j ->
+  Journal.mark j "p1";
+  Journal.mark j "p2";
+  Journal.close j;
+  Unix.truncate path (file_size path - 7);
+  match Journal.open_ ~identity:"cafe0123456789abcafe0123456789ab" path with
+  | Error d -> Alcotest.failf "reopen failed: %s" (Diag.render d)
+  | Ok j ->
+    Alcotest.(check int) "the torn mark is lost, not corrupted" 1
+      (Journal.marked j);
+    Alcotest.(check bool) "intact mark survives" true (Journal.is_marked j "p1");
+    Alcotest.(check int) "quarantine reported" 1
+      (List.length (Journal.warnings j));
+    Journal.close j
+
+let tests =
+  ( "store",
+    [
+      Alcotest.test_case "append/find roundtrip across reopen" `Quick
+        test_roundtrip;
+      Alcotest.test_case "last record per key wins" `Quick
+        test_last_record_wins;
+      Alcotest.test_case "identical re-append is a no-op" `Quick
+        test_identical_append_is_noop;
+      Alcotest.test_case "truncated tail is quarantined, not fatal" `Quick
+        test_truncated_tail_quarantined;
+      Alcotest.test_case "checksum catches a flipped byte" `Quick
+        test_bitflip_quarantined;
+      Alcotest.test_case "header damage and schema mismatch are fatal" `Quick
+        test_header_damage_is_fatal;
+      Alcotest.test_case "verify reports, gc compacts atomically" `Quick
+        test_verify_and_gc;
+      Alcotest.test_case "contents reads without mutating" `Quick
+        test_contents_readonly;
+      Alcotest.test_case "journal claims and enforces sweep identity" `Quick
+        test_journal_identity;
+      Alcotest.test_case "journal truncation loses marks only" `Quick
+        test_journal_truncation_loses_marks_only;
+    ] )
